@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "A Multithreaded
+// Message Passing Environment for ATM LAN/WAN" (Yadav, Reddy, Hariri, Fox;
+// NPAC, Syracuse University, 1995): NCS, the NYNET Communication System.
+//
+// The implementation lives under internal/ — see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the paper-vs-measured record, and README.md
+// for a guided tour. bench_test.go in this directory regenerates every
+// table and figure of the paper's evaluation via `go test -bench`.
+package repro

@@ -1,0 +1,69 @@
+// Distributed decimation-in-frequency FFT, the paper's Table 3 workload
+// (Figures 19-21), for real: a host distributes sample sets to worker
+// processes (two threads each; the final butterfly exchange between a
+// node's threads goes through shared memory), and every spectrum is
+// verified against the direct O(M²) DFT.
+//
+//	go run ./examples/fft [-m 512] [-sets 4] [-workers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/apps/fft"
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+func main() {
+	m := flag.Int("m", 512, "sample points per set (power of two)")
+	sets := flag.Int("sets", 4, "independent sample sets")
+	workers := flag.Int("workers", 4, "worker processes (2 threads each)")
+	flag.Parse()
+
+	mem := transport.NewMem()
+	procs := make([]*core.Proc, *workers+1)
+	for i := range procs {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("proc%d", i), IdleTimeout: 60 * time.Second})
+		procs[i] = core.New(core.Config{
+			ID:       core.ProcID(i),
+			RT:       rt,
+			Endpoint: mem.Attach(transport.ProcID(i), rt),
+		})
+	}
+
+	cfg := fft.Config{M: *m, Sets: *sets, Workers: *workers, Seed: 7}
+	res := fft.BuildNCS(procs, cfg)
+
+	start := time.Now()
+	done := make(chan struct{}, len(procs))
+	for _, p := range procs {
+		p := p
+		go func() {
+			p.Start()
+			done <- struct{}{}
+		}()
+	}
+	for range procs {
+		<-done
+	}
+	wall := time.Since(start)
+
+	worst := 0.0
+	for s, spectrum := range res.Spectra {
+		want := fft.DFT(fft.RandomSignal(*m, 7+int64(s)))
+		if d := fft.MaxAbsDiff(spectrum, want); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("FFT: M=%d, %d sets, host + %d workers (2 threads each): wall %v\n",
+		*m, *sets, *workers, wall.Round(time.Millisecond))
+	fmt.Printf("  max |FFT - DFT| across all sets: %.2e\n", worst)
+	if worst > 1e-6 {
+		panic("distributed FFT diverged from the DFT oracle")
+	}
+	fmt.Println("verified: all spectra match the direct DFT")
+}

@@ -1,0 +1,265 @@
+package fft
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/numcodec"
+	"repro/internal/p4"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes the distributed FFT benchmark.
+type Config struct {
+	// M is the number of sample points (the paper uses 512).
+	M int
+	// Sets is how many independent sample sets to transform (paper: 8).
+	Sets int
+	// Workers is the number of node processes (the host is extra).
+	Workers int
+	// OpCost is the modelled time per element update (each of the log2 M
+	// stages updates every element once).
+	OpCost time.Duration
+	// Seed generates the input signals.
+	Seed int64
+}
+
+// stageCost models one butterfly stage over a block of b elements.
+func (c Config) stageCost(b int) time.Duration {
+	return time.Duration(int64(b) * int64(c.OpCost))
+}
+
+// Result captures a finished run.
+type Result struct {
+	// Elapsed is the host's start-to-finish time across all sample sets.
+	Elapsed time.Duration
+	// Spectra holds the natural-order output per sample set (real mode).
+	Spectra [][]complex128
+}
+
+// Message tags.
+const (
+	tagInput  = 1
+	tagBlock  = 2
+	tagOutput = 3
+)
+
+// log2 returns floor(log2(v)); v must be a power of two.
+func log2(v int) int {
+	b := 0
+	for 1<<b < v {
+		b++
+	}
+	if 1<<b != v {
+		panic(fmt.Sprintf("fft: %d is not a power of two", v))
+	}
+	return b
+}
+
+// partnerInfo computes, for a partition p of P holding block size B at a
+// cross stage with butterfly span d, the partner partition and whether p
+// holds the lower half.
+func partnerInfo(p, blockSize, span int) (partner int, lower bool) {
+	dist := span / blockSize
+	lower = p%(2*dist) < dist
+	if lower {
+		return p + dist, true
+	}
+	return p - dist, false
+}
+
+// BuildP4 installs the Figure 19 program on procs ([0] = host, rest =
+// workers). Each worker holds one partition; every cross stage exchanges
+// whole blocks between partner workers over the network.
+func BuildP4(procs []*p4.Process, cfg Config) *Result {
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("fft: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	res := &Result{}
+	inputs := make([][]complex128, cfg.Sets)
+	for s := range inputs {
+		inputs[s] = RandomSignal(cfg.M, cfg.Seed+int64(s))
+	}
+	P := cfg.Workers
+	B := cfg.M / P
+	if B*P != cfg.M {
+		panic("fft: M must be divisible by worker count")
+	}
+	crossStages := log2(P)
+	totalStages := log2(cfg.M)
+
+	host := procs[0]
+	host.Go(func(t *mts.Thread) {
+		start := host.RT().Now()
+		for s := 0; s < cfg.Sets; s++ {
+			for w := 0; w < P; w++ {
+				host.Send(t, tagInput, p4.ProcID(w+1), numcodec.Complex128sToBytes(inputs[s][w*B:(w+1)*B]))
+			}
+			blocks := make([][]complex128, P)
+			for w := 0; w < P; w++ {
+				typ, from := tagOutput, p4.ProcID(w+1)
+				data := host.Recv(t, &typ, &from)
+				blocks[w], _ = numcodec.BytesToComplex128s(data)
+			}
+			res.Spectra = append(res.Spectra, GatherBitReversed(blocks))
+		}
+		res.Elapsed = time.Duration(host.RT().Now() - start)
+	})
+
+	for w := 0; w < P; w++ {
+		w := w
+		node := procs[w+1]
+		node.Go(func(t *mts.Thread) {
+			for s := 0; s < cfg.Sets; s++ {
+				typ, from := tagInput, p4.ProcID(0)
+				data := node.Recv(t, &typ, &from)
+				block, _ := numcodec.BytesToComplex128s(data)
+				// Cross-partition stages.
+				for cs := 0; cs < crossStages; cs++ {
+					span := cfg.M >> (cs + 1)
+					partner, lower := partnerInfo(w, B, span)
+					node.Send(t, tagBlock, p4.ProcID(partner+1), numcodec.Complex128sToBytes(block))
+					typ, from := tagBlock, p4.ProcID(partner+1)
+					theirsB := node.Recv(t, &typ, &from)
+					theirs, _ := numcodec.BytesToComplex128s(theirsB)
+					node.Compute(t, cfg.stageCost(B), func() {
+						CrossStage(block, theirs, lower, w*B, span)
+					})
+				}
+				// Local stages.
+				node.Compute(t, cfg.stageCost(B)*time.Duration(totalStages-crossStages), func() {
+					LocalStages(block)
+				})
+				node.Send(t, tagOutput, 0, numcodec.Complex128sToBytes(block))
+			}
+		})
+	}
+	return res
+}
+
+// BuildNCS installs the Figure 20/21 program: two threads per worker, so
+// 2·Workers partitions; the final cross stage pairs the two threads of one
+// node and exchanges through shared memory instead of the network.
+func BuildNCS(procs []*core.Proc, cfg Config) *Result {
+	const T = 2 // threads per node process, as in the paper
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("fft: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	res := &Result{}
+	inputs := make([][]complex128, cfg.Sets)
+	for s := range inputs {
+		inputs[s] = RandomSignal(cfg.M, cfg.Seed+int64(s))
+	}
+	P := cfg.Workers * T
+	B := cfg.M / P
+	if B*P != cfg.M {
+		panic("fft: M must be divisible by 2*worker count")
+	}
+	crossStages := log2(P)
+	totalStages := log2(cfg.M)
+
+	host := procs[0]
+	var start vclock.Time
+	hostDone := 0
+	blocks := make([][]complex128, P)
+	perSet := make([]int, cfg.Sets)
+
+	for k := 0; k < T; k++ {
+		k := k
+		host.TCreate(fmt.Sprintf("host-t%d", k), mts.PrioDefault, func(t *core.Thread) {
+			if k == 0 {
+				start = host.RT().Now()
+			}
+			for s := 0; s < cfg.Sets; s++ {
+				// Thread k feeds and drains partitions with thread index k.
+				for w := 0; w < cfg.Workers; w++ {
+					part := w*T + k
+					t.Send(k, core.ProcID(w+1), numcodec.Complex128sToBytes(inputs[s][part*B:(part+1)*B]))
+				}
+				for w := 0; w < cfg.Workers; w++ {
+					part := w*T + k
+					data, _ := t.Recv(k, core.ProcID(w+1))
+					blocks[part], _ = numcodec.BytesToComplex128s(data)
+					perSet[s]++
+					if perSet[s] == P {
+						res.Spectra = append(res.Spectra, GatherBitReversed(blocks))
+					}
+				}
+			}
+			hostDone++
+			if hostDone == T {
+				res.Elapsed = time.Duration(host.RT().Now() - start)
+			}
+		})
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		node := procs[w+1]
+		// Shared-memory exchange lanes between the node's two threads,
+		// one per direction (the paper's "local among threads" step).
+		lane := [2]*mts.Chan[[]complex128]{
+			mts.NewChan[[]complex128](node.RT(), 1),
+			mts.NewChan[[]complex128](node.RT(), 1),
+		}
+		for k := 0; k < T; k++ {
+			k := k
+			node.TCreate(fmt.Sprintf("node%d-t%d", w, k), mts.PrioDefault, func(t *core.Thread) {
+				part := w*T + k
+				for s := 0; s < cfg.Sets; s++ {
+					data, _ := t.Recv(k, 0)
+					block, _ := numcodec.BytesToComplex128s(data)
+					for cs := 0; cs < crossStages; cs++ {
+						span := cfg.M >> (cs + 1)
+						partner, lower := partnerInfo(part, B, span)
+						var theirs []complex128
+						if partner/T == w {
+							// Sibling thread: exchange via shared memory.
+							lane[k].Send(t.MT(), block)
+							theirs = lane[partner%T].Recv(t.MT())
+						} else {
+							t.Send(partner%T, core.ProcID(partner/T+1), numcodec.Complex128sToBytes(block))
+							theirsB, _ := t.Recv(partner%T, core.ProcID(partner/T+1))
+							theirs, _ = numcodec.BytesToComplex128s(theirsB)
+						}
+						next := make([]complex128, len(block))
+						copy(next, block)
+						t.Compute(cfg.stageCost(B), func() {
+							CrossStage(next, theirs, lower, part*B, span)
+						})
+						block = next
+					}
+					t.Compute(cfg.stageCost(B)*time.Duration(totalStages-crossStages), func() {
+						LocalStages(block)
+					})
+					t.Send(k, 0, numcodec.Complex128sToBytes(block))
+				}
+			})
+		}
+	}
+	return res
+}
+
+// BuildSequential computes all sets on one process (the 1-node rows).
+func BuildSequential(proc *p4.Process, cfg Config) *Result {
+	res := &Result{}
+	inputs := make([][]complex128, cfg.Sets)
+	for s := range inputs {
+		inputs[s] = RandomSignal(cfg.M, cfg.Seed+int64(s))
+	}
+	totalStages := log2(cfg.M)
+	proc.Go(func(t *mts.Thread) {
+		start := proc.RT().Now()
+		for s := 0; s < cfg.Sets; s++ {
+			x := append([]complex128(nil), inputs[s]...)
+			proc.Compute(t, cfg.stageCost(cfg.M)*time.Duration(totalStages), func() {
+				Forward(x)
+			})
+			res.Spectra = append(res.Spectra, x)
+		}
+		res.Elapsed = time.Duration(proc.RT().Now() - start)
+	})
+	return res
+}

@@ -1,0 +1,128 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/p4"
+	"repro/internal/transport"
+)
+
+func realP4Group(n int) []*p4.Process {
+	mem := transport.NewMem()
+	procs := make([]*p4.Process, n)
+	for i := 0; i < n; i++ {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("p%d", i), IdleTimeout: 20 * time.Second})
+		procs[i] = p4.New(p4.Config{ID: p4.ProcID(i), RT: rt, Endpoint: mem.Attach(transport.ProcID(i), rt)})
+	}
+	return procs
+}
+
+func realNCSGroup(n int) []*core.Proc {
+	mem := transport.NewMem()
+	procs := make([]*core.Proc, n)
+	for i := 0; i < n; i++ {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("p%d", i), IdleTimeout: 20 * time.Second})
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: mem.Attach(transport.ProcID(i), rt)})
+	}
+	return procs
+}
+
+func runNCS(procs []*core.Proc) {
+	done := make(chan struct{}, len(procs))
+	for _, p := range procs {
+		p := p
+		go func() {
+			p.Start()
+			done <- struct{}{}
+		}()
+	}
+	for range procs {
+		<-done
+	}
+}
+
+func TestDistributedP4MatchesDFT(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		cfg := Config{M: 64, Sets: 2, Workers: workers, Seed: 3}
+		procs := realP4Group(workers + 1)
+		res := BuildP4(procs, cfg)
+		(&p4.Procgroup{Procs: procs}).RunReal()
+		if len(res.Spectra) != cfg.Sets {
+			t.Fatalf("workers=%d: %d spectra", workers, len(res.Spectra))
+		}
+		for s, got := range res.Spectra {
+			want := DFT(RandomSignal(cfg.M, cfg.Seed+int64(s)))
+			if d := MaxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("workers=%d set=%d: off by %g", workers, s, d)
+			}
+		}
+	}
+}
+
+func TestDistributedNCSMatchesDFT(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		cfg := Config{M: 128, Sets: 3, Workers: workers, Seed: 11}
+		procs := realNCSGroup(workers + 1)
+		res := BuildNCS(procs, cfg)
+		runNCS(procs)
+		if len(res.Spectra) != cfg.Sets {
+			t.Fatalf("workers=%d: %d spectra", workers, len(res.Spectra))
+		}
+		for s, got := range res.Spectra {
+			want := DFT(RandomSignal(cfg.M, cfg.Seed+int64(s)))
+			if d := MaxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("workers=%d set=%d: off by %g", workers, s, d)
+			}
+		}
+	}
+}
+
+func TestNCSLocalExchangeIsUsed(t *testing.T) {
+	// With 1 worker (2 partitions), the single cross stage pairs the two
+	// threads of the same node: everything goes through shared memory and
+	// the result must still match.
+	cfg := Config{M: 32, Sets: 1, Workers: 1, Seed: 2}
+	procs := realNCSGroup(2)
+	res := BuildNCS(procs, cfg)
+	runNCS(procs)
+	want := DFT(RandomSignal(32, 2))
+	if d := MaxAbsDiff(res.Spectra[0], want); d > 1e-9 {
+		t.Fatalf("thread-local exchange FFT off by %g", d)
+	}
+}
+
+func TestPartnerInfoSymmetric(t *testing.T) {
+	// Partners must agree: if p says (q, lower), q must say (p, upper).
+	for _, tc := range []struct{ m, p int }{{64, 4}, {512, 16}} {
+		B := tc.m / tc.p
+		for cs := 0; 1<<cs < tc.p; cs++ {
+			span := tc.m >> (cs + 1)
+			for p := 0; p < tc.p; p++ {
+				q, lower := partnerInfo(p, B, span)
+				back, backLower := partnerInfo(q, B, span)
+				if back != p || backLower == lower {
+					t.Fatalf("m=%d p=%d stage=%d: partner asymmetry", tc.m, p, cs)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSequentialSpectra(t *testing.T) {
+	mem := transport.NewMem()
+	rt := mts.New(mts.Config{Name: "solo", IdleTimeout: 10 * time.Second})
+	proc := p4.New(p4.Config{ID: 0, RT: rt, Endpoint: mem.Attach(0, rt)})
+	cfg := Config{M: 64, Sets: 2, Workers: 1, Seed: 4}
+	res := BuildSequential(proc, cfg)
+	rt.Run()
+	for s, got := range res.Spectra {
+		want := DFT(RandomSignal(64, 4+int64(s)))
+		if d := MaxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("set %d off by %g", s, d)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package fft implements the paper's third benchmark (§5.3, Table 3): the
+// decimation-in-frequency (DIF) fast Fourier transform, sequentially and
+// distributed across workstations.
+//
+// The distributed algorithm follows Figures 19-21: with M sample points on
+// P partitions (P = N processes for p4, P = 2N threads for NCS), the first
+// log2(P) butterfly stages pair elements across partitions — each pair of
+// partner partitions exchanges blocks, the lower partner keeping the sums
+// (X = A+B) and the upper the twiddled differences (Y = (A-B)·W^k) — and
+// the remaining log2(M) - log2(P) stages are purely local. In the NCS
+// variant the final exchange is between the two threads of one node and
+// uses shared memory, "local among threads and does not involve remote
+// communication".
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Forward computes the in-place DIF FFT of x (len must be a power of two).
+// Output is in bit-reversed order until Reorder is applied; Forward applies
+// Reorder itself, returning natural-order results.
+func Forward(x []complex128) {
+	n := len(x)
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	difButterflies(x)
+	Reorder(x)
+}
+
+// difButterflies runs the DIF stages, leaving bit-reversed order.
+func difButterflies(x []complex128) {
+	n := len(x)
+	for span := n / 2; span >= 1; span /= 2 {
+		for start := 0; start < n; start += 2 * span {
+			for i := 0; i < span; i++ {
+				a := x[start+i]
+				b := x[start+i+span]
+				x[start+i] = a + b
+				w := cmplx.Exp(complex(0, -2*math.Pi*float64(i)/float64(2*span)))
+				x[start+i+span] = (a - b) * w
+			}
+		}
+	}
+}
+
+// Reorder permutes a bit-reversed array into natural order in place.
+func Reorder(x []complex128) {
+	n := len(x)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		j := reverseBits(i, bits)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+func reverseBits(v, bits int) int {
+	out := 0
+	for b := 0; b < bits; b++ {
+		out = out<<1 | v&1
+		v >>= 1
+	}
+	return out
+}
+
+// Inverse computes the inverse FFT in place (natural order in and out).
+func Inverse(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	Forward(x)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+}
+
+// DFT computes the direct O(M²) transform, the verification oracle.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest elementwise magnitude difference.
+func MaxAbsDiff(a, b []complex128) float64 {
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// RandomSignal generates a reproducible complex test signal.
+func RandomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return out
+}
+
+// --- Partitioned stages (shared by the p4 and NCS distributed drivers) ---
+
+// CrossStage performs one cross-partition butterfly stage on a partition's
+// block. mine is this partition's block, theirs the partner's; lower says
+// whether this partition holds the lower-indexed half of each pair.
+// globalOffset is the index of mine[0] in the full array; span is the
+// butterfly distance in points. The result replaces mine.
+func CrossStage(mine, theirs []complex128, lower bool, globalOffset, span int) {
+	if lower {
+		for i := range mine {
+			mine[i] += theirs[i]
+		}
+		return
+	}
+	for i := range mine {
+		// theirs holds the lower element a, mine the upper b; the twiddle
+		// index is the pair's offset within its 2·span group.
+		k := (globalOffset + i) % span
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(2*span)))
+		mine[i] = (theirs[i] - mine[i]) * w
+	}
+}
+
+// LocalStages completes the remaining stages entirely within a partition
+// whose size is block = len(x); globalOffset locates the block. After the
+// cross stages, a partition holds a self-contained sub-problem of size
+// len(x), so this is just a local DIF butterfly pass (no reorder).
+func LocalStages(x []complex128) {
+	difButterflies(x)
+}
+
+// GatherBitReversed assembles partition blocks (each internally
+// bit-reversed after LocalStages) into the natural-order result. Partition
+// p of P computed the sub-transform whose outputs are the frequencies
+// congruent to rev(p) modulo P... — rather than reconstruct index algebra
+// in two places, the drivers use this: given all blocks concatenated in
+// partition order (the raw bit-reversed DIF output of the whole array),
+// one global Reorder yields the natural-order spectrum.
+func GatherBitReversed(blocks [][]complex128) []complex128 {
+	var out []complex128
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	Reorder(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 512} {
+		x := RandomSignal(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if d := MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: max diff %g", n, d)
+		}
+	}
+}
+
+func TestKnownTransform(t *testing.T) {
+	// FFT of a constant signal is an impulse at DC.
+	x := []complex128{1, 1, 1, 1}
+	Forward(x)
+	if cmplx.Abs(x[0]-4) > 1e-12 {
+		t.Fatalf("DC = %v, want 4", x[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestImpulseIsFlat(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestInverseRoundtrip(t *testing.T) {
+	x := RandomSignal(256, 7)
+	orig := append([]complex128(nil), x...)
+	Forward(x)
+	Inverse(x)
+	if d := MaxAbsDiff(x, orig); d > 1e-10 {
+		t.Fatalf("roundtrip diff %g", d)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	x := RandomSignal(128, 3)
+	var timeEnergy float64
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Forward(x)
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqEnergy/float64(len(x))-timeEnergy) > 1e-8 {
+		t.Fatalf("Parseval violated: %g vs %g", freqEnergy/float64(len(x)), timeEnergy)
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length 6 accepted")
+		}
+	}()
+	Forward(make([]complex128, 6))
+}
+
+func TestReverseBits(t *testing.T) {
+	if reverseBits(0b001, 3) != 0b100 {
+		t.Fatal("reverseBits(1,3) wrong")
+	}
+	if reverseBits(0b110, 3) != 0b011 {
+		t.Fatal("reverseBits(6,3) wrong")
+	}
+}
+
+// TestPartitionedPipelineMatchesSequential runs the same stage functions
+// the distributed drivers use, single-goroutine, and checks the result
+// against Forward — isolating the partition algebra from the messaging.
+func TestPartitionedPipelineMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ m, p int }{{16, 2}, {64, 4}, {512, 8}, {512, 16}} {
+		x := RandomSignal(tc.m, int64(tc.m+tc.p))
+		want := append([]complex128(nil), x...)
+		Forward(want)
+
+		B := tc.m / tc.p
+		blocks := make([][]complex128, tc.p)
+		for p := 0; p < tc.p; p++ {
+			blocks[p] = append([]complex128(nil), x[p*B:(p+1)*B]...)
+		}
+		cross := log2(tc.p)
+		for cs := 0; cs < cross; cs++ {
+			span := tc.m >> (cs + 1)
+			// Snapshot pre-stage blocks, as the exchange would provide.
+			pre := make([][]complex128, tc.p)
+			for p := range blocks {
+				pre[p] = append([]complex128(nil), blocks[p]...)
+			}
+			for p := 0; p < tc.p; p++ {
+				partner, lower := partnerInfo(p, B, span)
+				CrossStage(blocks[p], pre[partner], lower, p*B, span)
+			}
+		}
+		for p := 0; p < tc.p; p++ {
+			LocalStages(blocks[p])
+		}
+		got := GatherBitReversed(blocks)
+		if d := MaxAbsDiff(got, want); d > 1e-9*float64(tc.m) {
+			t.Fatalf("m=%d p=%d: max diff %g", tc.m, tc.p, d)
+		}
+	}
+}
+
+func TestQuickForwardLinearity(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		const n = 64
+		a := RandomSignal(n, seed1)
+		b := RandomSignal(n, seed2)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		Forward(a)
+		Forward(b)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package jpegcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Image is a grayscale plane.
+type Image struct {
+	W, H int
+	Pix  []uint8 // len W*H, row-major
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) uint8 { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, v uint8) { im.Pix[y*im.W+x] = v }
+
+// SubRows returns rows [lo,hi) as an independent image (the unit the
+// pipeline distributes to compressors).
+func (im *Image) SubRows(lo, hi int) *Image {
+	out := NewImage(im.W, hi-lo)
+	copy(out.Pix, im.Pix[lo*im.W:hi*im.W])
+	return out
+}
+
+// Synthetic generates a deterministic continuous-tone test image: soft
+// gradients with a few disks and bars, the kind of content JPEG's DCT model
+// compresses well (the paper benchmarks a 600 KB continuous-tone image).
+func Synthetic(w, h int) *Image {
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x)/float64(w), float64(y)/float64(h)
+			v := 96 + 64*math.Sin(2*math.Pi*fx*1.5)*math.Cos(2*math.Pi*fy)
+			v += 32 * fx * fy * 255 / 255
+			// A couple of disks.
+			for _, c := range [][3]float64{{0.3, 0.3, 0.12}, {0.7, 0.6, 0.18}} {
+				dx, dy := fx-c[0], fy-c[1]
+				if dx*dx+dy*dy < c[2]*c[2] {
+					v += 60 * (1 - (dx*dx+dy*dy)/(c[2]*c[2]))
+				}
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Set(x, y, uint8(v))
+		}
+	}
+	return im
+}
+
+// PSNR computes peak signal-to-noise ratio in dB between two images.
+func PSNR(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("jpegcodec: PSNR size mismatch")
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// Encoded stream layout:
+//
+//	magic "NJPG" | u16 W | u16 H | u8 quality |
+//	alphabetN code lengths (u8 each) | u32 bit-payload length | payload
+const encMagic = "NJPG"
+
+// Errors.
+var (
+	ErrNotNJPG   = errors.New("jpegcodec: not an NJPG stream")
+	ErrTruncated = errors.New("jpegcodec: truncated stream")
+)
+
+// Encode compresses the image at the given quality (1..100).
+func Encode(im *Image, quality int) []byte {
+	if im.W%BlockSize != 0 || im.H%BlockSize != 0 {
+		panic(fmt.Sprintf("jpegcodec: dimensions %dx%d not multiples of %d", im.W, im.H, BlockSize))
+	}
+	q := NewQuantTable(quality)
+
+	// Pass 1: transform all blocks, collect symbols + frequencies.
+	type blockSyms struct {
+		syms []int
+		amps []struct {
+			bits uint32
+			n    uint
+		}
+	}
+	bw, bh := im.W/BlockSize, im.H/BlockSize
+	freq := make([]int, alphabetN)
+	all := make([]blockSyms, 0, bw*bh)
+	prevDC := int16(0)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			var px, coeffs Block
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					px[y*BlockSize+x] = float64(im.At(bx*BlockSize+x, by*BlockSize+y)) - 128
+				}
+			}
+			FDCT(&px, &coeffs)
+			var levels [64]int16
+			q.Quantize(&coeffs, &levels)
+			zz := Zigzag(&levels)
+			// DC differential coding, as in T.81.
+			dc := zz[0]
+			zz[0] = dc - prevDC
+			prevDC = dc
+
+			var bs blockSyms
+			emit := func(run int, level int16) {
+				s := sizeClass(level)
+				sym := symRun(run, s)
+				bs.syms = append(bs.syms, sym)
+				freq[sym]++
+				// Amplitude: T.81 convention — negative levels stored as
+				// level-1 in s bits (one's complement style).
+				v := level
+				if v < 0 {
+					v += int16(1<<uint(s)) - 1
+				}
+				bs.amps = append(bs.amps, struct {
+					bits uint32
+					n    uint
+				}{uint32(v), uint(s)})
+			}
+			run := 0
+			// Treat the DC difference as run 0 (emit even when zero by
+			// using size class of 0 → handled as EOB shortcut below).
+			if zz[0] != 0 {
+				emit(0, zz[0])
+			} else {
+				bs.syms = append(bs.syms, symZRL+0) // placeholder? no —
+				// A zero DC difference still needs a symbol: encode it as
+				// run 0 / size 1 with amplitude bit 0 representing 0? T.81
+				// uses size-0 DC; we reserve symEOB for it.
+				bs.syms = bs.syms[:len(bs.syms)-1]
+				bs.syms = append(bs.syms, symEOB)
+				freq[symEOB]++
+				bs.amps = append(bs.amps, struct {
+					bits uint32
+					n    uint
+				}{0, 0})
+			}
+			for i := 1; i < 64; i++ {
+				if zz[i] == 0 {
+					run++
+					continue
+				}
+				for run > maxRun {
+					bs.syms = append(bs.syms, symZRL)
+					freq[symZRL]++
+					bs.amps = append(bs.amps, struct {
+						bits uint32
+						n    uint
+					}{0, 0})
+					run -= 16
+				}
+				emit(run, zz[i])
+				run = 0
+			}
+			if run > 0 {
+				bs.syms = append(bs.syms, symEOB)
+				freq[symEOB]++
+				bs.amps = append(bs.amps, struct {
+					bits uint32
+					n    uint
+				}{0, 0})
+			}
+			all = append(all, bs)
+		}
+	}
+
+	code := BuildHuffman(freq)
+	w := &BitWriter{}
+	for _, bs := range all {
+		for i, s := range bs.syms {
+			code.Encode(w, s)
+			if bs.amps[i].n > 0 {
+				w.WriteBits(bs.amps[i].bits, bs.amps[i].n)
+			}
+		}
+	}
+	payload := w.Bytes()
+
+	out := make([]byte, 0, len(payload)+alphabetN+16)
+	out = append(out, encMagic...)
+	out = binary.BigEndian.AppendUint16(out, uint16(im.W))
+	out = binary.BigEndian.AppendUint16(out, uint16(im.H))
+	out = append(out, byte(quality))
+	out = append(out, code.Lengths...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return out
+}
+
+// Decode reconstructs an image from an Encode stream.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < 4+2+2+1+alphabetN+4 {
+		return nil, ErrTruncated
+	}
+	if string(data[:4]) != encMagic {
+		return nil, ErrNotNJPG
+	}
+	wpx := int(binary.BigEndian.Uint16(data[4:]))
+	hpx := int(binary.BigEndian.Uint16(data[6:]))
+	quality := int(data[8])
+	// Header sanity: encoded images are whole 8×8 blocks, and a corrupt
+	// header must not drive a huge allocation.
+	if wpx == 0 || hpx == 0 || wpx%BlockSize != 0 || hpx%BlockSize != 0 || wpx*hpx > 1<<26 {
+		return nil, fmt.Errorf("jpegcodec: implausible dimensions %dx%d", wpx, hpx)
+	}
+	lengths := make([]uint8, alphabetN)
+	copy(lengths, data[9:9+alphabetN])
+	if err := validateLengths(lengths); err != nil {
+		return nil, err
+	}
+	off := 9 + alphabetN
+	plen := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if len(data) < off+plen {
+		return nil, ErrTruncated
+	}
+	payload := data[off : off+plen]
+
+	h := &HuffmanCode{Lengths: lengths}
+	h.assign()
+	dec := NewDecoder(h)
+	r := NewBitReader(payload)
+	q := NewQuantTable(quality)
+	im := NewImage(wpx, hpx)
+
+	bw, bh := wpx/BlockSize, hpx/BlockSize
+	prevDC := int16(0)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			var zz [64]int16
+			// DC.
+			sym, err := dec.Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			pos := 1
+			if sym != symEOB {
+				run, size := symDecode(sym)
+				if run != 0 {
+					return nil, fmt.Errorf("jpegcodec: DC symbol with run %d", run)
+				}
+				amp, err := r.ReadBits(uint(size))
+				if err != nil {
+					return nil, err
+				}
+				zz[0] = decodeAmp(amp, size)
+			}
+			// AC until EOB or position 64.
+			for pos < 64 {
+				sym, err := dec.Decode(r)
+				if err != nil {
+					return nil, err
+				}
+				if sym == symEOB {
+					break
+				}
+				if sym == symZRL {
+					pos += 16
+					continue
+				}
+				run, size := symDecode(sym)
+				pos += run
+				if pos >= 64 {
+					return nil, fmt.Errorf("jpegcodec: coefficient index %d out of range", pos)
+				}
+				amp, err := r.ReadBits(uint(size))
+				if err != nil {
+					return nil, err
+				}
+				zz[pos] = decodeAmp(amp, size)
+				pos++
+			}
+			zz[0] += prevDC
+			prevDC = zz[0]
+
+			levels := Unzigzag(&zz)
+			var coeffs, px Block
+			q.Dequantize(&levels, &coeffs)
+			IDCT(&coeffs, &px)
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					v := math.Round(px[y*BlockSize+x] + 128)
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					im.Set(bx*BlockSize+x, by*BlockSize+y, uint8(v))
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+func decodeAmp(amp uint32, size int) int16 {
+	v := int16(amp)
+	if v < int16(1<<uint(size-1)) {
+		v -= int16(1<<uint(size)) - 1
+	}
+	return v
+}

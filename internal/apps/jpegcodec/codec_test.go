@@ -1,0 +1,294 @@
+package jpegcodec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCTRoundtrip(t *testing.T) {
+	var src, freq, back Block
+	rng := rand.New(rand.NewSource(1))
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	FDCT(&src, &freq)
+	IDCT(&freq, &back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-9 {
+			t.Fatalf("IDCT(FDCT(x))[%d] = %g, want %g", i, back[i], src[i])
+		}
+	}
+}
+
+func TestDCTConstantBlock(t *testing.T) {
+	var src, freq Block
+	for i := range src {
+		src[i] = 100
+	}
+	FDCT(&src, &freq)
+	// DC of a constant block is 8*value with orthonormal scaling.
+	if math.Abs(freq[0]-800) > 1e-9 {
+		t.Fatalf("DC = %g, want 800", freq[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(freq[i]) > 1e-9 {
+			t.Fatalf("AC[%d] = %g, want 0", i, freq[i])
+		}
+	}
+}
+
+func TestDCTEnergyPreservation(t *testing.T) {
+	var src, freq Block
+	rng := rand.New(rand.NewSource(2))
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	FDCT(&src, &freq)
+	var es, ef float64
+	for i := range src {
+		es += src[i] * src[i]
+		ef += freq[i] * freq[i]
+	}
+	if math.Abs(es-ef) > 1e-6 {
+		t.Fatalf("energy %g vs %g", es, ef)
+	}
+}
+
+func TestQuantTableQualityMonotone(t *testing.T) {
+	q10 := NewQuantTable(10)
+	q90 := NewQuantTable(90)
+	for i := range q10 {
+		if q10[i] < q90[i] {
+			t.Fatalf("entry %d: q10=%d < q90=%d", i, q10[i], q90[i])
+		}
+	}
+}
+
+func TestZigzagRoundtrip(t *testing.T) {
+	var levels [64]int16
+	for i := range levels {
+		levels[i] = int16(i * 3)
+	}
+	zz := Zigzag(&levels)
+	back := Unzigzag(&zz)
+	if back != levels {
+		t.Fatal("zigzag roundtrip mismatch")
+	}
+	// Zigzag must be a permutation.
+	seen := map[int]bool{}
+	for _, v := range zigzag {
+		if seen[v] {
+			t.Fatal("zigzag not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestBitIORoundtrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11110000, 8)
+	w.WriteBits(0b1, 1)
+	r := NewBitReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("first = %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0b11110000 {
+		t.Fatalf("second = %b", v)
+	}
+	if v, _ := r.ReadBits(1); v != 1 {
+		t.Fatalf("third = %b", v)
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestHuffmanRoundtrip(t *testing.T) {
+	freq := make([]int, alphabetN)
+	freq[symEOB] = 100
+	freq[symZRL] = 5
+	freq[symRun(0, 1)] = 50
+	freq[symRun(0, 2)] = 30
+	freq[symRun(3, 4)] = 7
+	freq[symRun(15, 12)] = 1
+	code := BuildHuffman(freq)
+	w := &BitWriter{}
+	msg := []int{symEOB, symRun(0, 1), symRun(15, 12), symZRL, symRun(3, 4), symEOB}
+	for _, s := range msg {
+		code.Encode(w, s)
+	}
+	dec := NewDecoder(code)
+	r := NewBitReader(w.Bytes())
+	for i, want := range msg {
+		got, err := dec.Decode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHuffmanPrefixProperty(t *testing.T) {
+	freq := make([]int, alphabetN)
+	rng := rand.New(rand.NewSource(3))
+	for i := range freq {
+		freq[i] = rng.Intn(1000)
+	}
+	code := BuildHuffman(freq)
+	// Kraft inequality must hold.
+	kraft := 0.0
+	for _, l := range code.Lengths {
+		if l > 0 {
+			kraft += math.Pow(2, -float64(l))
+		}
+	}
+	if kraft > 1+1e-12 {
+		t.Fatalf("Kraft sum %g > 1", kraft)
+	}
+}
+
+func TestQuickHuffmanRandomStreams(t *testing.T) {
+	f := func(seed int64, nSyms uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freq := make([]int, alphabetN)
+		var msg []int
+		for i := 0; i < int(nSyms)+1; i++ {
+			s := rng.Intn(alphabetN)
+			msg = append(msg, s)
+			freq[s]++
+		}
+		code := BuildHuffman(freq)
+		w := &BitWriter{}
+		for _, s := range msg {
+			code.Encode(w, s)
+		}
+		dec := NewDecoder(code)
+		r := NewBitReader(w.Bytes())
+		for _, want := range msg {
+			got, err := dec.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodePSNR(t *testing.T) {
+	img := Synthetic(128, 96)
+	for _, q := range []int{50, 75, 90} {
+		enc := Encode(img, q)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if dec.W != img.W || dec.H != img.H {
+			t.Fatalf("q=%d: size %dx%d", q, dec.W, dec.H)
+		}
+		psnr := PSNR(img, dec)
+		if psnr < 30 {
+			t.Fatalf("q=%d: PSNR %.1f dB < 30", q, psnr)
+		}
+	}
+}
+
+func TestHigherQualityHigherPSNRAndSize(t *testing.T) {
+	img := Synthetic(128, 128)
+	enc30 := Encode(img, 30)
+	enc90 := Encode(img, 90)
+	d30, _ := Decode(enc30)
+	d90, _ := Decode(enc90)
+	if PSNR(img, d90) <= PSNR(img, d30) {
+		t.Fatal("quality 90 not better than 30")
+	}
+	if len(enc90) <= len(enc30) {
+		t.Fatal("quality 90 not larger than 30")
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	img := Synthetic(256, 256)
+	enc := Encode(img, 75)
+	if len(enc) >= len(img.Pix)/2 {
+		t.Fatalf("compressed %d of %d raw bytes: ratio too poor", len(enc), len(img.Pix))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("XXXXtooshort")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	img := Synthetic(16, 16)
+	enc := Encode(img, 75)
+	if _, err := Decode(enc[:len(enc)-10]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err != ErrNotNJPG {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}
+
+func TestSubRows(t *testing.T) {
+	img := Synthetic(32, 32)
+	part := img.SubRows(8, 16)
+	if part.W != 32 || part.H != 8 {
+		t.Fatalf("part size %dx%d", part.W, part.H)
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 32; x++ {
+			if part.At(x, y) != img.At(x, y+8) {
+				t.Fatal("SubRows copied wrong pixels")
+			}
+		}
+	}
+}
+
+func TestFlatImageRoundtripExact(t *testing.T) {
+	img := NewImage(64, 64)
+	for i := range img.Pix {
+		img.Pix[i] = 128
+	}
+	dec, err := Decode(Encode(img, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if dec.Pix[i] != 128 {
+			t.Fatalf("flat image pixel %d = %d", i, dec.Pix[i])
+		}
+	}
+}
+
+func TestQuickCodecRandomImages(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Smooth random image: random low-frequency mixture.
+		img := NewImage(32, 32)
+		a, b := rng.Float64()*3, rng.Float64()*3
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				v := 128 + 100*math.Sin(a*float64(x)/32)*math.Cos(b*float64(y)/32)
+				img.Set(x, y, uint8(math.Max(0, math.Min(255, v))))
+			}
+		}
+		dec, err := Decode(Encode(img, 85))
+		return err == nil && PSNR(img, dec) > 28
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

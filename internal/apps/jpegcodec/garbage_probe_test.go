@@ -1,0 +1,46 @@
+package jpegcodec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeGarbageNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := Synthetic(32, 32)
+	enc := Encode(img, 75)
+	for trial := 0; trial < 5000; trial++ {
+		b := append([]byte(nil), enc...)
+		n := rng.Intn(8) + 1
+		for i := 0; i < n; i++ {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			Decode(b)
+		}()
+	}
+}
+
+func TestDecodeRandomBytesNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		b := make([]byte, rng.Intn(2048)+1)
+		rng.Read(b)
+		if rng.Intn(2) == 0 {
+			copy(b, "NJPG") // force past the magic check half the time
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			Decode(b)
+		}()
+	}
+}

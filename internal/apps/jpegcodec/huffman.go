@@ -1,0 +1,343 @@
+package jpegcodec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Entropy layer: the zigzag level sequence is turned into (zero-run, level)
+// symbols, and symbols are coded with a canonical Huffman code built from
+// the image's own statistics and stored in the header. This mirrors JPEG's
+// run-length + Huffman design while staying self-contained.
+
+// Symbol values: levels are mapped to a small alphabet by value class.
+//
+//	symEOB          end of block (remaining coefficients zero)
+//	symZRL          run of 16 zeros
+//	symRun(r, s)    r zeros (0..15) followed by a level of size class s
+//
+// The size class s is the number of magnitude bits (1..12); the magnitude
+// bits themselves are written raw after the symbol, as in T.81.
+const (
+	symEOB    = 0
+	symZRL    = 1
+	symBase   = 2
+	maxRun    = 15
+	maxSize   = 12
+	alphabetN = symBase + 16*maxSize
+)
+
+func symRun(run, size int) int { return symBase + run*maxSize + (size - 1) }
+
+func symDecode(sym int) (run, size int) {
+	v := sym - symBase
+	return v / maxSize, v%maxSize + 1
+}
+
+// sizeClass returns the magnitude bit count of v (v != 0).
+func sizeClass(v int16) int {
+	m := v
+	if m < 0 {
+		m = -m
+	}
+	s := 0
+	for m > 0 {
+		s++
+		m >>= 1
+	}
+	return s
+}
+
+// BitWriter packs bits MSB-first.
+type BitWriter struct {
+	buf  []byte
+	cur  byte
+	nbit uint
+}
+
+// WriteBits appends the low n bits of v, MSB first.
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | byte(v>>uint(i)&1)
+		w.nbit++
+		if w.nbit == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+// Bytes flushes (padding with zero bits) and returns the stream.
+func (w *BitWriter) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nbit))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// BitReader unpacks bits MSB-first.
+type BitReader struct {
+	buf []byte
+	pos int
+	bit uint
+}
+
+// NewBitReader wraps a buffer.
+func NewBitReader(b []byte) *BitReader { return &BitReader{buf: b} }
+
+// ErrOutOfBits reports stream exhaustion.
+var ErrOutOfBits = errors.New("jpegcodec: bit stream exhausted")
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	v := uint32(r.buf[r.pos] >> (7 - r.bit) & 1)
+	r.bit++
+	if r.bit == 8 {
+		r.bit, r.pos = 0, r.pos+1
+	}
+	return v, nil
+}
+
+// ReadBits returns the next n bits MSB-first.
+func (r *BitReader) ReadBits(n uint) (uint32, error) {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// HuffmanCode is a canonical prefix code over the symbol alphabet.
+type HuffmanCode struct {
+	// Lengths[s] is the code length of symbol s (0 = unused).
+	Lengths []uint8
+	codes   []uint32
+}
+
+// maxCodeLen bounds code lengths so the header stays compact and decode
+// tables small.
+const maxCodeLen = 16
+
+// BuildHuffman constructs a canonical code from symbol frequencies using
+// package-merge-free length-limited construction: standard Huffman, then
+// length clamping with Kraft repair (sufficient for this alphabet size).
+func BuildHuffman(freq []int) *HuffmanCode {
+	n := len(freq)
+	lengths := make([]uint8, n)
+
+	type node struct {
+		w           int
+		sym         int // -1 for internal
+		left, right *node
+	}
+	var heap []*node
+	for s, f := range freq {
+		if f > 0 {
+			heap = append(heap, &node{w: f, sym: s})
+		}
+	}
+	switch len(heap) {
+	case 0:
+		return &HuffmanCode{Lengths: lengths}
+	case 1:
+		lengths[heap[0].sym] = 1
+		h := &HuffmanCode{Lengths: lengths}
+		h.assign()
+		return h
+	}
+	less := func(i, j int) bool { return heap[i].w < heap[j].w }
+	for len(heap) > 1 {
+		sort.Slice(heap, less)
+		a, b := heap[0], heap[1]
+		heap = append(heap[2:], &node{w: a.w + b.w, sym: -1, left: a, right: b})
+	}
+	var walk func(n *node, depth uint8)
+	walk = func(nd *node, depth uint8) {
+		if nd.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[nd.sym] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(heap[0], 0)
+
+	clampLengths(lengths)
+	h := &HuffmanCode{Lengths: lengths}
+	h.assign()
+	return h
+}
+
+// clampLengths limits lengths to maxCodeLen and repairs the Kraft sum.
+func clampLengths(lengths []uint8) {
+	over := false
+	for i, l := range lengths {
+		if l > maxCodeLen {
+			lengths[i] = maxCodeLen
+			over = true
+		}
+	}
+	if !over {
+		return
+	}
+	// Kraft sum in units of 2^-maxCodeLen.
+	kraft := 0
+	for _, l := range lengths {
+		if l > 0 {
+			kraft += 1 << (maxCodeLen - l)
+		}
+	}
+	// While over-full, lengthen the longest-but-shortenable codes.
+	for kraft > 1<<maxCodeLen {
+		for i := range lengths {
+			if lengths[i] > 0 && lengths[i] < maxCodeLen {
+				lengths[i]++
+				kraft -= 1 << (maxCodeLen - lengths[i])
+				if kraft <= 1<<maxCodeLen {
+					break
+				}
+			}
+		}
+	}
+}
+
+// assign derives canonical codewords from lengths.
+func (h *HuffmanCode) assign() {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var used []sl
+	for s, l := range h.Lengths {
+		if l > 0 {
+			used = append(used, sl{s, l})
+		}
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].l != used[j].l {
+			return used[i].l < used[j].l
+		}
+		return used[i].sym < used[j].sym
+	})
+	h.codes = make([]uint32, len(h.Lengths))
+	code := uint32(0)
+	prev := uint8(0)
+	for _, e := range used {
+		code <<= e.l - prev
+		prev = e.l
+		h.codes[e.sym] = code
+		code++
+	}
+}
+
+// Encode writes symbol s to the bit stream.
+func (h *HuffmanCode) Encode(w *BitWriter, s int) {
+	l := h.Lengths[s]
+	if l == 0 {
+		panic(fmt.Sprintf("jpegcodec: encoding symbol %d with no code", s))
+	}
+	w.WriteBits(h.codes[s], uint(l))
+}
+
+// Decoder is a canonical-code bit decoder.
+type Decoder struct {
+	h *HuffmanCode
+	// firstCode[l], firstSym[l]: canonical decoding tables per length.
+	firstCode [maxCodeLen + 1]uint32
+	count     [maxCodeLen + 1]int
+	symsByLen [][]int
+}
+
+// NewDecoder builds decode tables for the code.
+func NewDecoder(h *HuffmanCode) *Decoder {
+	d := &Decoder{h: h, symsByLen: make([][]int, maxCodeLen+1)}
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var used []sl
+	for s, l := range h.Lengths {
+		if l > 0 {
+			used = append(used, sl{s, l})
+		}
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].l != used[j].l {
+			return used[i].l < used[j].l
+		}
+		return used[i].sym < used[j].sym
+	})
+	code := uint32(0)
+	prev := uint8(0)
+	for _, e := range used {
+		code <<= e.l - prev
+		prev = e.l
+		if d.count[e.l] == 0 {
+			d.firstCode[e.l] = code
+		}
+		d.count[e.l]++
+		d.symsByLen[e.l] = append(d.symsByLen[e.l], e.sym)
+		code++
+	}
+	return d
+}
+
+// ErrBadCode reports an invalid codeword in the stream.
+var ErrBadCode = errors.New("jpegcodec: invalid Huffman codeword")
+
+// ErrBadLengths reports a code-length table that cannot form a valid
+// prefix code (out-of-range lengths or an over-full Kraft sum) — the check
+// a decoder must run on untrusted headers before building tables.
+var ErrBadLengths = errors.New("jpegcodec: invalid Huffman length table")
+
+// validateLengths checks that every length fits the decoder's tables and
+// that the Kraft inequality holds.
+func validateLengths(lengths []uint8) error {
+	kraft := 0
+	any := false
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if l > maxCodeLen {
+			return ErrBadLengths
+		}
+		any = true
+		kraft += 1 << (maxCodeLen - l)
+	}
+	if any && kraft > 1<<maxCodeLen {
+		return ErrBadLengths
+	}
+	return nil
+}
+
+// Decode reads one symbol.
+func (d *Decoder) Decode(r *BitReader) (int, error) {
+	var code uint32
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if d.count[l] > 0 {
+			idx := int(code - d.firstCode[l])
+			if idx >= 0 && idx < d.count[l] {
+				return d.symsByLen[l][idx], nil
+			}
+		}
+	}
+	return 0, ErrBadCode
+}

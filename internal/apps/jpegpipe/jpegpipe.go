@@ -1,0 +1,264 @@
+// Package jpegpipe implements the paper's second benchmark (§5.2, Table 2):
+// a distributed JPEG compress/decompress pipeline over a cluster. Half the
+// workers compress their share of the image while the other half
+// decompress, in five stages: distribute the raw image, compress, ship the
+// compressed pieces, decompress, and collect the result (Figure 15).
+//
+//   - BuildP4: one thread per process — each stage's blocking receive
+//     leaves the processor idle (Figure 16, top).
+//   - BuildNCS: two threads per process (Figures 17, 18) — thread 1 works
+//     on the first half of a worker's share and thread 2 on the second, so
+//     computation on one half overlaps communication of the other. The
+//     master's thread 2 blocks (NCS_block) until thread 1 has read the
+//     image, then both distribute their halves.
+package jpegpipe
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/jpegcodec"
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/p4"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes the pipeline benchmark.
+type Config struct {
+	// W, H are the image dimensions (the paper's 600 KB image ≈ 960×640).
+	W, H int
+	// Workers is the number of worker processes; must be even. Half
+	// compress, half decompress. The master is extra.
+	Workers int
+	// Quality is the codec quality (1..100).
+	Quality int
+
+	// Cost model (sim mode): per-pixel compress/decompress CPU time and
+	// per-byte image read/combine time on the master.
+	CompressPerPixel   time.Duration
+	DecompressPerPixel time.Duration
+	MasterPerByte      time.Duration
+
+	// ModelRatio is the compressed/raw size ratio used when the codec
+	// does not actually run (pure simulation); real runs use real sizes.
+	ModelRatio float64
+}
+
+func (c Config) validate() {
+	if c.Workers < 2 || c.Workers%2 != 0 {
+		panic(fmt.Sprintf("jpegpipe: worker count %d must be even and >= 2", c.Workers))
+	}
+	if c.H%(c.Workers/2) != 0 {
+		panic("jpegpipe: image height must divide evenly among compressors")
+	}
+}
+
+func (c Config) compressCost(pixels int) time.Duration {
+	return time.Duration(int64(pixels) * int64(c.CompressPerPixel))
+}
+
+func (c Config) decompressCost(pixels int) time.Duration {
+	return time.Duration(int64(pixels) * int64(c.DecompressPerPixel))
+}
+
+func (c Config) modelCompressed(pixels int) int {
+	r := c.ModelRatio
+	if r <= 0 {
+		r = 0.15
+	}
+	return int(float64(pixels) * r)
+}
+
+// Result captures a finished run.
+type Result struct {
+	// Elapsed is the master's start-to-finish time.
+	Elapsed time.Duration
+	// Output is the reconstructed image (real mode).
+	Output *jpegcodec.Image
+	// CompressedBytes totals the compressed traffic (real mode).
+	CompressedBytes int
+}
+
+// Message tags.
+const (
+	tagRaw    = 1
+	tagComp   = 2
+	tagResult = 3
+)
+
+// BuildP4 installs the single-threaded pipeline. procs[0] is the master,
+// procs[1..W/2] compress, procs[W/2+1..W] decompress; compressor i feeds
+// decompressor i + W/2.
+func BuildP4(procs []*p4.Process, cfg Config) *Result {
+	cfg.validate()
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("jpegpipe: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	res := &Result{}
+	img := jpegcodec.Synthetic(cfg.W, cfg.H)
+	nc := cfg.Workers / 2
+	rowsPer := cfg.H / nc
+
+	master := procs[0]
+	master.Go(func(t *mts.Thread) {
+		start := master.RT().Now()
+		// Stage 0: "read" the image.
+		master.Compute(t, time.Duration(int64(len(img.Pix))*int64(cfg.MasterPerByte)), nil)
+		// Stage 1: distribute raw parts to compressors.
+		for i := 0; i < nc; i++ {
+			part := img.SubRows(i*rowsPer, (i+1)*rowsPer)
+			master.Send(t, tagRaw, p4.ProcID(i+1), part.Pix)
+		}
+		// Stage 5: collect decompressed parts from decompressors.
+		res.Output = jpegcodec.NewImage(cfg.W, cfg.H)
+		for i := 0; i < nc; i++ {
+			typ, from := tagResult, p4.ProcID(nc+i+1)
+			data := master.Recv(t, &typ, &from)
+			copy(res.Output.Pix[i*rowsPer*cfg.W:], data)
+		}
+		// Combine.
+		master.Compute(t, time.Duration(int64(len(img.Pix))*int64(cfg.MasterPerByte)), nil)
+		res.Elapsed = time.Duration(master.RT().Now() - start)
+	})
+
+	for i := 0; i < nc; i++ {
+		i := i
+		comp := procs[i+1]
+		comp.Go(func(t *mts.Thread) {
+			typ, from := tagRaw, p4.ProcID(0)
+			raw := comp.Recv(t, &typ, &from)
+			pixels := len(raw)
+			var enc []byte
+			comp.Compute(t, cfg.compressCost(pixels), func() {
+				part := &jpegcodec.Image{W: cfg.W, H: pixels / cfg.W, Pix: raw}
+				enc = jpegcodec.Encode(part, cfg.Quality)
+			})
+			if enc == nil {
+				enc = make([]byte, cfg.modelCompressed(pixels))
+			}
+			res.CompressedBytes += len(enc)
+			comp.Send(t, tagComp, p4.ProcID(nc+i+1), enc)
+		})
+
+		dec := procs[nc+i+1]
+		dec.Go(func(t *mts.Thread) {
+			typ, from := tagComp, p4.ProcID(i+1)
+			enc := dec.Recv(t, &typ, &from)
+			pixels := rowsPer * cfg.W
+			var out []byte
+			dec.Compute(t, cfg.decompressCost(pixels), func() {
+				im, err := jpegcodec.Decode(enc)
+				if err != nil {
+					panic(err)
+				}
+				out = im.Pix
+			})
+			if out == nil {
+				out = make([]byte, pixels)
+			}
+			dec.Send(t, tagResult, 0, out)
+		})
+	}
+	return res
+}
+
+// BuildNCS installs the two-threads-per-process pipeline of Figures 17/18.
+// The worker layout matches BuildP4; within each worker, thread 0 processes
+// the upper half of its share and thread 1 the lower half.
+func BuildNCS(procs []*core.Proc, cfg Config) *Result {
+	cfg.validate()
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("jpegpipe: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	if (cfg.H/(cfg.Workers/2))%2 != 0 {
+		panic("jpegpipe: per-compressor rows must split between two threads")
+	}
+	res := &Result{}
+	img := jpegcodec.Synthetic(cfg.W, cfg.H)
+	nc := cfg.Workers / 2
+	rowsPer := cfg.H / nc
+	halfRows := rowsPer / 2
+
+	master := procs[0]
+	var start vclock.Time
+	var masterThreads [2]*core.Thread
+	imageRead := false
+	masterDone := 0
+	res.Output = jpegcodec.NewImage(cfg.W, cfg.H)
+
+	for k := 0; k < 2; k++ {
+		k := k
+		masterThreads[k] = master.TCreate(fmt.Sprintf("master-t%d", k), mts.PrioDefault, func(t *core.Thread) {
+			if k == 0 {
+				start = master.RT().Now()
+				// Thread 1 reads the image file, then unblocks thread 2
+				// (Figure 17's NCS_block/NCS_unblock pair).
+				t.Compute(time.Duration(int64(len(img.Pix))*int64(cfg.MasterPerByte)), nil)
+				imageRead = true
+				t.Unblock(masterThreads[1])
+			} else {
+				if !imageRead {
+					t.Block()
+				}
+			}
+			// Distribute this thread's half of every compressor's share.
+			for i := 0; i < nc; i++ {
+				lo := i*rowsPer + k*halfRows
+				part := img.SubRows(lo, lo+halfRows)
+				t.Send(k, core.ProcID(i+1), part.Pix)
+			}
+			// Collect from the matching decompressor threads.
+			for i := 0; i < nc; i++ {
+				data, _ := t.Recv(k, core.ProcID(nc+i+1))
+				lo := i*rowsPer + k*halfRows
+				copy(res.Output.Pix[lo*cfg.W:], data)
+			}
+			masterDone++
+			if masterDone == 2 {
+				t.Compute(time.Duration(int64(len(img.Pix))*int64(cfg.MasterPerByte)), nil)
+				res.Elapsed = time.Duration(master.RT().Now() - start)
+			}
+		})
+	}
+
+	for i := 0; i < nc; i++ {
+		i := i
+		comp := procs[i+1]
+		dec := procs[nc+i+1]
+		for k := 0; k < 2; k++ {
+			k := k
+			comp.TCreate(fmt.Sprintf("comp%d-t%d", i, k), mts.PrioDefault, func(t *core.Thread) {
+				raw, _ := t.Recv(k, 0)
+				pixels := len(raw)
+				var enc []byte
+				t.Compute(cfg.compressCost(pixels), func() {
+					part := &jpegcodec.Image{W: cfg.W, H: pixels / cfg.W, Pix: raw}
+					enc = jpegcodec.Encode(part, cfg.Quality)
+				})
+				if enc == nil {
+					enc = make([]byte, cfg.modelCompressed(pixels))
+				}
+				res.CompressedBytes += len(enc)
+				t.Send(k, core.ProcID(nc+i+1), enc)
+			})
+			dec.TCreate(fmt.Sprintf("dec%d-t%d", i, k), mts.PrioDefault, func(t *core.Thread) {
+				enc, _ := t.Recv(k, core.ProcID(i+1))
+				pixels := halfRows * cfg.W
+				var out []byte
+				t.Compute(cfg.decompressCost(pixels), func() {
+					im, err := jpegcodec.Decode(enc)
+					if err != nil {
+						panic(err)
+					}
+					out = im.Pix
+				})
+				if out == nil {
+					out = make([]byte, pixels)
+				}
+				t.Send(k, 0, out)
+			})
+		}
+	}
+	return res
+}

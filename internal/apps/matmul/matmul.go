@@ -1,0 +1,325 @@
+// Package matmul implements the paper's first benchmark (§5.1, Table 1):
+// distributed matrix multiplication C = A*B under the host-node model, in
+// two variants:
+//
+//   - BuildP4: the single-threaded p4 program of Figure 13 — the host
+//     sends B and a block of A's rows to each node, every node computes its
+//     block of C, and the host collects results. A node blocked in p4_recv
+//     computes nothing.
+//   - BuildNCS: the two-threads-per-process NCS program of Figure 14 — B is
+//     sent to each node once (threads share the address space), each host
+//     thread feeds the matching node thread its half of the rows, and a
+//     node thread starts computing as soon as *its* rows arrive while its
+//     sibling's rows are still in flight.
+//
+// Both builders take pre-assembled processes so the same program runs in
+// simulation (virtual-time cost model) and for real (actual arithmetic).
+package matmul
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/numcodec"
+	"repro/internal/p4"
+	"repro/internal/vclock"
+)
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N
+}
+
+// NewMatrix allocates an N×N zero matrix.
+func NewMatrix(n int) Matrix {
+	return Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// RandomMatrix fills a matrix from a seeded generator.
+func RandomMatrix(n int, seed int64) Matrix {
+	m := NewMatrix(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// Row returns row i as a slice view.
+func (m Matrix) Row(i int) []float64 { return m.Data[i*m.N : (i+1)*m.N] }
+
+// MultiplyRows computes rows [lo,hi) of A*B into the corresponding rows of
+// C. This is the per-node kernel of the benchmark.
+func MultiplyRows(a, b Matrix, c Matrix, lo, hi int) {
+	n := a.N
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		cr := c.Row(i)
+		for k := 0; k < n; k++ {
+			aik := ar[k]
+			br := b.Row(k)
+			for j := 0; j < n; j++ {
+				cr[j] += aik * br[j]
+			}
+		}
+	}
+}
+
+// Multiply computes A*B sequentially (reference for verification).
+func Multiply(a, b Matrix) Matrix {
+	c := NewMatrix(a.N)
+	MultiplyRows(a, b, c, 0, a.N)
+	return c
+}
+
+// MaxAbsDiff returns the largest elementwise difference.
+func MaxAbsDiff(a, b Matrix) float64 {
+	max := 0.0
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Dim is the matrix dimension (the paper uses 128).
+	Dim int
+	// Workers is the number of node processes (the host is extra).
+	Workers int
+	// OpCost is the modelled time per multiply-add, calibrated so the
+	// 1-node execution matches the paper's Table 1 first row.
+	OpCost time.Duration
+	// Seed generates A and B.
+	Seed int64
+}
+
+// rowsCost models the CPU time to compute r rows: r * N * N multiply-adds.
+func (c Config) rowsCost(r int) time.Duration {
+	return time.Duration(int64(r) * int64(c.Dim) * int64(c.Dim) * int64(c.OpCost))
+}
+
+// split returns the row range [lo,hi) of worker w among n workers.
+func split(dim, n, w int) (lo, hi int) {
+	base := dim / n
+	extra := dim % n
+	lo = w*base + min(w, extra)
+	hi = lo + base
+	if w < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Result captures a finished run.
+type Result struct {
+	// Elapsed is the host's start-to-finish time (virtual in sim mode).
+	Elapsed time.Duration
+	// C is the assembled product (meaningful in real mode only).
+	C Matrix
+}
+
+// Message types for the p4 variant (the paper's DATA and RESULT).
+const (
+	tagData   = 1
+	tagResult = 2
+)
+
+// BuildP4 installs the Figure 13 program on a host + workers procgroup.
+// procs[0] is the host. The returned Result is filled in when the host
+// body finishes.
+func BuildP4(procs []*p4.Process, cfg Config) *Result {
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("matmul: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	res := &Result{}
+	a := RandomMatrix(cfg.Dim, cfg.Seed)
+	b := RandomMatrix(cfg.Dim, cfg.Seed+1)
+
+	host := procs[0]
+	host.Go(func(t *mts.Thread) {
+		start := host.RT().Now()
+		bBytes := numcodec.Float64sToBytes(b.Data)
+		// Distribute: whole B plus each worker's rows of A.
+		for w := 0; w < cfg.Workers; w++ {
+			lo, hi := split(cfg.Dim, cfg.Workers, w)
+			host.Send(t, tagData, p4.ProcID(w+1), bBytes)
+			host.Send(t, tagData, p4.ProcID(w+1), numcodec.Float64sToBytes(a.Data[lo*cfg.Dim:hi*cfg.Dim]))
+		}
+		// Collect results.
+		res.C = NewMatrix(cfg.Dim)
+		for w := 0; w < cfg.Workers; w++ {
+			typ, from := tagResult, p4.ProcID(w+1)
+			data := host.Recv(t, &typ, &from)
+			lo, hi := split(cfg.Dim, cfg.Workers, w)
+			rows, err := numcodec.BytesToFloat64s(data)
+			if err != nil {
+				panic(err)
+			}
+			copy(res.C.Data[lo*cfg.Dim:hi*cfg.Dim], rows)
+		}
+		res.Elapsed = time.Duration(host.RT().Now() - start)
+	})
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		node := procs[w+1]
+		node.Go(func(t *mts.Thread) {
+			typ, from := tagData, p4.ProcID(0)
+			bData := node.Recv(t, &typ, &from)
+			typ, from = tagData, p4.ProcID(0)
+			aData := node.Recv(t, &typ, &from)
+			lo, hi := split(cfg.Dim, cfg.Workers, w)
+			rows := hi - lo
+			out := make([]float64, rows*cfg.Dim)
+			node.Compute(t, cfg.rowsCost(rows), func() {
+				bm, _ := numcodec.BytesToFloat64s(bData)
+				am, _ := numcodec.BytesToFloat64s(aData)
+				bMat := Matrix{N: cfg.Dim, Data: bm}
+				aMat := Matrix{N: cfg.Dim, Data: make([]float64, cfg.Dim*cfg.Dim)}
+				copy(aMat.Data[lo*cfg.Dim:hi*cfg.Dim], am)
+				cMat := Matrix{N: cfg.Dim, Data: make([]float64, cfg.Dim*cfg.Dim)}
+				MultiplyRows(aMat, bMat, cMat, lo, hi)
+				copy(out, cMat.Data[lo*cfg.Dim:hi*cfg.Dim])
+			})
+			node.Send(t, tagResult, 0, numcodec.Float64sToBytes(out))
+		})
+	}
+	return res
+}
+
+// BuildNCS installs the Figure 14 program: threadsPerProc host threads each
+// drive the matching thread on every node. procs[0] is the host.
+func BuildNCS(procs []*core.Proc, cfg Config, threadsPerProc int) *Result {
+	if len(procs) != cfg.Workers+1 {
+		panic(fmt.Sprintf("matmul: need %d procs, got %d", cfg.Workers+1, len(procs)))
+	}
+	if threadsPerProc < 1 {
+		panic("matmul: need at least one thread per process")
+	}
+	res := &Result{}
+	a := RandomMatrix(cfg.Dim, cfg.Seed)
+	b := RandomMatrix(cfg.Dim, cfg.Seed+1)
+	res.C = NewMatrix(cfg.Dim)
+
+	host := procs[0]
+	var start vclock.Time
+	finished := 0
+
+	// Each worker's rows are split again among the threads.
+	threadRange := func(w, k int) (lo, hi int) {
+		wlo, whi := split(cfg.Dim, cfg.Workers, w)
+		tlo, thi := split(whi-wlo, threadsPerProc, k)
+		return wlo + tlo, wlo + thi
+	}
+
+	for k := 0; k < threadsPerProc; k++ {
+		k := k
+		// Later host threads run at slightly lower priority so thread 0's
+		// B+A sends win queueing ties; a node's first compute thread then
+		// gets its data earliest (the overlap Figure 4 depicts).
+		host.TCreate(fmt.Sprintf("host-t%d", k), mts.PrioDefault+k, func(t *core.Thread) {
+			if k == 0 {
+				start = host.RT().Now()
+			}
+			bBytes := numcodec.Float64sToBytes(b.Data)
+			for w := 0; w < cfg.Workers; w++ {
+				// B goes to each node once, via thread 0 (all threads of
+				// the node share the address space, Figure 14).
+				if k == 0 {
+					t.Send(0, core.ProcID(w+1), bBytes)
+				}
+				lo, hi := threadRange(w, k)
+				t.Send(k, core.ProcID(w+1), numcodec.Float64sToBytes(a.Data[lo*cfg.Dim:hi*cfg.Dim]))
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				data, _ := t.Recv(k, core.ProcID(w+1))
+				lo, hi := threadRange(w, k)
+				rows, err := numcodec.BytesToFloat64s(data)
+				if err != nil {
+					panic(err)
+				}
+				copy(res.C.Data[lo*cfg.Dim:hi*cfg.Dim], rows)
+				_ = hi
+			}
+			finished++
+			if finished == threadsPerProc {
+				res.Elapsed = time.Duration(host.RT().Now() - start)
+			}
+		})
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		node := procs[w+1]
+		// B is shared by all threads of the node.
+		var bShared Matrix
+		var nodeThreads []*core.Thread
+		for k := 0; k < threadsPerProc; k++ {
+			k := k
+			th := node.TCreate(fmt.Sprintf("node%d-t%d", w, k), mts.PrioDefault, func(t *core.Thread) {
+				if k == 0 {
+					bData, _ := t.Recv(0, 0)
+					bm, _ := numcodec.BytesToFloat64s(bData)
+					bShared = Matrix{N: cfg.Dim, Data: bm}
+					// Wake siblings waiting for B (shared address space).
+					for _, sib := range nodeThreads[1:] {
+						t.Unblock(sib)
+					}
+				} else {
+					t.Block() // until thread 0 has B
+				}
+				aData, _ := t.Recv(k, 0)
+				lo, hi := threadRange(w, k)
+				rows := hi - lo
+				out := make([]float64, rows*cfg.Dim)
+				t.Compute(cfg.rowsCost(rows), func() {
+					am, _ := numcodec.BytesToFloat64s(aData)
+					aMat := Matrix{N: cfg.Dim, Data: make([]float64, cfg.Dim*cfg.Dim)}
+					copy(aMat.Data[lo*cfg.Dim:hi*cfg.Dim], am)
+					cMat := Matrix{N: cfg.Dim, Data: make([]float64, cfg.Dim*cfg.Dim)}
+					MultiplyRows(aMat, bShared, cMat, lo, hi)
+					copy(out, cMat.Data[lo*cfg.Dim:hi*cfg.Dim])
+				})
+				t.Send(k, 0, numcodec.Float64sToBytes(out))
+			})
+			nodeThreads = append(nodeThreads, th)
+		}
+	}
+	return res
+}
+
+// BuildSequential returns the 1-node reference: the whole multiplication on
+// one process (the paper's "1 node" rows, where p4 and NCS differ only by
+// thread-maintenance overhead).
+func BuildSequential(proc *p4.Process, cfg Config) *Result {
+	res := &Result{}
+	a := RandomMatrix(cfg.Dim, cfg.Seed)
+	b := RandomMatrix(cfg.Dim, cfg.Seed+1)
+	proc.Go(func(t *mts.Thread) {
+		start := proc.RT().Now()
+		res.C = NewMatrix(cfg.Dim)
+		proc.Compute(t, cfg.rowsCost(cfg.Dim), func() {
+			res.C = Multiply(a, b)
+		})
+		res.Elapsed = time.Duration(proc.RT().Now() - start)
+	})
+	return res
+}

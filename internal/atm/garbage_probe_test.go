@@ -1,0 +1,62 @@
+package atm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeCellRandomBytesNoPanic hardens the cell decoder: random
+// 53-byte buffers must either decode (HEC collision, ~1/256) or error.
+func TestDecodeCellRandomBytesNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, CellSize)
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			DecodeCell(b)
+		}()
+	}
+}
+
+// TestReassemblerRandomCellsNoPanic pushes random (valid-header) cells
+// through one reassembler.
+func TestReassemblerRandomCellsNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vc := VC{VCI: 9}
+	r := NewReassembler(vc)
+	for trial := 0; trial < 3000; trial++ {
+		var c Cell
+		c.Header = Header{VPI: vc.VPI, VCI: vc.VCI, PT: uint8(rng.Intn(8))}
+		rng.Read(c.Payload[:])
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			r.Push(c)
+		}()
+	}
+}
+
+// TestUnmarshalSigRandomNoPanic hardens the signaling decoder.
+func TestUnmarshalSigRandomNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			UnmarshalSig(b)
+		}()
+	}
+}

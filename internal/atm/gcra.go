@@ -1,0 +1,55 @@
+package atm
+
+import "time"
+
+// GCRA is the Generic Cell Rate Algorithm (ITU-T I.371 / ATM Forum UPC),
+// the virtual-scheduling form: cell k conforms iff it arrives no earlier
+// than TAT - L, where TAT advances by the increment T per conforming cell.
+// Switches police each VC's traffic contract with it; the paper's QOS tiers
+// (Figure 5) assume exactly this kind of enforcement inside the network,
+// complementing the sender-side flow-control threads NCS provides.
+type GCRA struct {
+	// T is the increment: the reciprocal of the contracted cell rate.
+	T time.Duration
+	// L is the limit: the tolerated burst (CDVT + burst tolerance).
+	L time.Duration
+
+	// tat is the theoretical arrival time of the next conforming cell,
+	// in nanoseconds of the caller's clock.
+	tat time.Duration
+
+	conforming int64
+	violating  int64
+}
+
+// NewGCRA builds a policer for the given sustained cell rate
+// (cells/second) and burst tolerance of that many cells.
+func NewGCRA(cellsPerSecond float64, burstCells int) *GCRA {
+	if cellsPerSecond <= 0 {
+		panic("atm: GCRA needs a positive cell rate")
+	}
+	t := time.Duration(float64(time.Second) / cellsPerSecond)
+	return &GCRA{T: t, L: time.Duration(burstCells) * t}
+}
+
+// Conforms tests (and accounts) a cell arriving at the given time. A
+// non-conforming cell does not advance the TAT — it is the cell the switch
+// tags or drops.
+func (g *GCRA) Conforms(now time.Duration) bool {
+	if now < g.tat-g.L {
+		g.violating++
+		return false
+	}
+	base := g.tat
+	if now > base {
+		base = now
+	}
+	g.tat = base + g.T
+	g.conforming++
+	return true
+}
+
+// Counts reports conforming and violating cells seen so far.
+func (g *GCRA) Counts() (conforming, violating int64) {
+	return g.conforming, g.violating
+}

@@ -1,0 +1,71 @@
+package atm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGCRAConformingStream(t *testing.T) {
+	// Cells at exactly the contracted rate all conform.
+	g := NewGCRA(1000, 1) // 1 cell/ms
+	for i := 0; i < 100; i++ {
+		if !g.Conforms(time.Duration(i) * time.Millisecond) {
+			t.Fatalf("cell %d at contract rate rejected", i)
+		}
+	}
+	c, v := g.Counts()
+	if c != 100 || v != 0 {
+		t.Fatalf("counts = %d/%d", c, v)
+	}
+}
+
+func TestGCRABurstWithinTolerance(t *testing.T) {
+	// A burst of burstCells back-to-back cells conforms; one more does not.
+	const burst = 5
+	g := NewGCRA(1000, burst)
+	now := time.Duration(0)
+	okCount := 0
+	for i := 0; i < burst+2; i++ {
+		if g.Conforms(now) {
+			okCount++
+		}
+	}
+	// The L = burst*T credit admits burst+1 simultaneous cells (the first
+	// consumes no credit).
+	if okCount != burst+1 {
+		t.Fatalf("burst admitted %d cells, want %d", okCount, burst+1)
+	}
+}
+
+func TestGCRARecoversAfterIdle(t *testing.T) {
+	g := NewGCRA(1000, 1)
+	// Exhaust the credit.
+	for g.Conforms(0) {
+	}
+	// After a long idle period the stream conforms again.
+	if !g.Conforms(time.Second) {
+		t.Fatal("policer did not recover after idle")
+	}
+}
+
+func TestGCRASustainedOverrateIsClamped(t *testing.T) {
+	// Cells at 2x the contract: asymptotically half must be tagged.
+	g := NewGCRA(1000, 2)
+	for i := 0; i < 2000; i++ {
+		g.Conforms(time.Duration(i) * 500 * time.Microsecond)
+	}
+	c, v := g.Counts()
+	ratio := float64(c) / float64(c+v)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("conforming ratio %.2f at 2x overrate, want ~0.5", ratio)
+	}
+}
+
+func TestGCRAZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	NewGCRA(0, 1)
+}

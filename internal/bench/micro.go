@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/vclock"
+)
+
+// Message-size microbenchmark: one-way latency and sustained bandwidth of
+// the two NCS tiers on the NYNET platform, swept over message sizes. The
+// paper reports no such table, but it is the standard way to see where
+// Approach 2's savings live: the fixed trap-vs-socket gap dominates small
+// messages, the 3-vs-5-access copy path dominates large ones.
+
+// MicroRow is one message size.
+type MicroRow struct {
+	Bytes      int
+	NSMLatency time.Duration
+	HSMLatency time.Duration
+	NSMMBps    float64
+	HSMMBps    float64
+}
+
+// burstMsgs is the message count for the bandwidth half of the sweep.
+const burstMsgs = 16
+
+// microRun measures one (tier, size) cell: one-way latency of a single
+// message, then delivery time of a pipelined burst.
+func microRun(hsm bool, size int) (lat time.Duration, mbps float64) {
+	pl := NYNET1995()
+	c, procs := NewNCSCluster(pl, 2, hsm, false)
+	var first, last vclock.Time
+	procs[0].TCreate("src", mts.PrioDefault, func(t *core.Thread) {
+		t.Send(0, 1, make([]byte, size))
+		for k := 0; k < burstMsgs; k++ {
+			t.Send(0, 1, make([]byte, size))
+		}
+	})
+	procs[1].TCreate("dst", mts.PrioDefault, func(t *core.Thread) {
+		t.Recv(core.Any, core.Any)
+		first = c.Eng.Now()
+		for k := 0; k < burstMsgs; k++ {
+			t.Recv(core.Any, core.Any)
+		}
+		last = c.Eng.Now()
+	})
+	c.Eng.Run()
+	lat = time.Duration(first)
+	burst := time.Duration(last - first)
+	if burst > 0 {
+		mbps = float64(size*burstMsgs) / burst.Seconds() / 1e6
+	}
+	return lat, mbps
+}
+
+// MicroSweep runs both tiers across the sizes.
+func MicroSweep(sizes []int) []MicroRow {
+	var rows []MicroRow
+	for _, size := range sizes {
+		nl, nb := microRun(false, size)
+		hl, hb := microRun(true, size)
+		rows = append(rows, MicroRow{Bytes: size, NSMLatency: nl, HSMLatency: hl, NSMMBps: nb, HSMMBps: hb})
+	}
+	return rows
+}
+
+// RenderMicro formats the sweep.
+func RenderMicro(rows []MicroRow) string {
+	var b strings.Builder
+	b.WriteString("Microbenchmark — NCS one-way latency and bandwidth by tier (NYNET model)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %12s %12s\n", "size", "NSM latency", "HSM latency", "NSM MB/s", "HSM MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %14v %14v %12.2f %12.2f\n",
+			r.Bytes, r.NSMLatency.Round(time.Microsecond), r.HSMLatency.Round(time.Microsecond), r.NSMMBps, r.HSMMBps)
+	}
+	return b.String()
+}

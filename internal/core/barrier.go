@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mts"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Cross-process barrier (paper §3.1, the synchronization primitive class).
+//
+// The protocol is root-collected: every non-root process sends a
+// tagBarrier(generation) message to the root (group[0]); once the root has
+// heard from everyone it sends tagBarrierRel(generation) back. One thread
+// per process participates — the paper's barrier synchronizes processes,
+// not individual threads.
+
+type barrierState struct {
+	gen      uint32
+	arrivals int
+	waiter   *mts.Thread
+	released map[uint32]bool // early releases (root raced ahead)
+	arrived  map[uint32]int  // early arrivals at the root
+}
+
+func (b *barrierState) lazyInit() {
+	if b.released == nil {
+		b.released = make(map[uint32]bool)
+		b.arrived = make(map[uint32]int)
+	}
+}
+
+// Barrier blocks until every process in group has reached it. All
+// processes must call Barrier with the same group (same order); group[0]
+// is the root. The calling thread parks; sibling threads keep running.
+func (t *Thread) Barrier(group []ProcID) {
+	p := t.proc
+	p.bar.lazyInit()
+	if p.bar.waiter != nil {
+		panic(fmt.Sprintf("core(proc %d): concurrent Barrier calls", p.cfg.ID))
+	}
+	gen := p.bar.gen
+	p.bar.gen++
+	root := group[0]
+	self := -1
+	for i, id := range group {
+		if id == p.cfg.ID {
+			self = i
+		}
+	}
+	if self < 0 {
+		panic(fmt.Sprintf("core(proc %d): not a member of barrier group %v", p.cfg.ID, group))
+	}
+
+	if p.cfg.ID == root {
+		need := len(group) - 1
+		// Count early arrivals already banked for this generation.
+		p.bar.arrivals = p.bar.arrived[gen]
+		delete(p.bar.arrived, gen)
+		if p.bar.arrivals < need {
+			p.bar.waiter = t.mt
+			p.traceThread(t, trace.Idle)
+			for p.bar.arrivals < need {
+				t.mt.Park("barrier root")
+			}
+			p.bar.waiter = nil
+			p.traceThread(t, trace.Compute)
+		}
+		p.bar.arrivals = 0
+		// Release everyone.
+		for _, id := range group[1:] {
+			p.enqueueControl(&transport.Message{
+				From: p.cfg.ID, To: id, Tag: tagBarrierRel, Data: putUint32(gen),
+			})
+		}
+		return
+	}
+
+	// Non-root: announce arrival, then wait for the release.
+	p.enqueueControl(&transport.Message{
+		From: p.cfg.ID, To: root, Tag: tagBarrier, Data: putUint32(gen),
+	})
+	if p.bar.released[gen] {
+		delete(p.bar.released, gen)
+		return
+	}
+	p.bar.waiter = t.mt
+	p.traceThread(t, trace.Idle)
+	for !p.bar.released[gen] {
+		t.mt.Park("barrier wait")
+	}
+	delete(p.bar.released, gen)
+	p.bar.waiter = nil
+	p.traceThread(t, trace.Compute)
+}
+
+// onMessage handles barrier control traffic in the receive system thread.
+func (b *barrierState) onMessage(p *Proc, m *transport.Message) {
+	b.lazyInit()
+	gen := getUint32(m.Data)
+	switch m.Tag {
+	case tagBarrier:
+		// Arrival at the root. If the root's thread hasn't entered this
+		// generation yet, bank the arrival.
+		if b.waiter != nil && gen == b.gen-1 {
+			b.arrivals++
+			p.cfg.RT.Unblock(b.waiter, false)
+			return
+		}
+		if gen >= b.gen {
+			b.arrived[gen]++
+			return
+		}
+		b.arrivals++
+	case tagBarrierRel:
+		b.released[gen] = true
+		if b.waiter != nil {
+			p.cfg.RT.Unblock(b.waiter, false)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mts"
+)
+
+// TestQuickChaosTraffic drives random all-to-all traffic through simulated
+// clusters and checks conservation (every message sent is received exactly
+// once), addressing (only by the addressed thread), and per-sender-pair
+// FIFO order — for arbitrary seeds, process counts, and thread counts.
+func TestQuickChaosTraffic(t *testing.T) {
+	f := func(seed int64, pRaw, tRaw, mRaw uint8) bool {
+		nProcs := int(pRaw%3) + 2   // 2..4 processes
+		nThreads := int(tRaw%2) + 1 // 1..2 threads each
+		msgs := int(mRaw%8) + 4     // 4..11 messages per thread
+		rng := rand.New(rand.NewSource(seed))
+
+		// Plan the traffic up front so receivers know what to expect.
+		type slot struct{ proc, thread int }
+		plan := make(map[slot][]slot) // sender -> ordered destinations
+		expect := make(map[slot]int)  // receiver -> inbound count
+		for p := 0; p < nProcs; p++ {
+			for th := 0; th < nThreads; th++ {
+				src := slot{p, th}
+				for m := 0; m < msgs; m++ {
+					dp := rng.Intn(nProcs)
+					if dp == p {
+						dp = (dp + 1) % nProcs
+					}
+					dst := slot{dp, rng.Intn(nThreads)}
+					plan[src] = append(plan[src], dst)
+					expect[dst]++
+				}
+			}
+		}
+
+		eng, procs := simCluster(t, nProcs, nil)
+		type recvRec struct {
+			from Addr
+			seq  byte
+		}
+		received := make(map[slot][]recvRec)
+		for p := 0; p < nProcs; p++ {
+			for th := 0; th < nThreads; th++ {
+				self := slot{p, th}
+				procs[p].TCreate(fmt.Sprintf("w%d.%d", p, th), mts.PrioDefault, func(tt *Thread) {
+					// Interleave sends and receives; finish both quotas.
+					dests := plan[self]
+					want := expect[self]
+					sent := 0
+					got := 0
+					for sent < len(dests) || got < want {
+						if sent < len(dests) {
+							d := dests[sent]
+							tt.Send(d.thread, ProcID(d.proc), []byte{byte(sent)})
+							sent++
+						}
+						if got < want {
+							if data, from, ok := tt.TryRecv(Any, Any); ok {
+								received[self] = append(received[self], recvRec{from, data[0]})
+								got++
+								continue
+							}
+							if sent == len(dests) {
+								data, from := tt.Recv(Any, Any)
+								received[self] = append(received[self], recvRec{from, data[0]})
+								got++
+							}
+						}
+					}
+				})
+			}
+		}
+		eng.SetMaxTime(time.Hour)
+		eng.Run()
+
+		// Conservation + per-pair FIFO.
+		total := 0
+		for self, recs := range received {
+			total += len(recs)
+			lastSeq := map[Addr]int{}
+			for _, r := range recs {
+				if prev, ok := lastSeq[r.from]; ok && int(r.seq) <= prev {
+					t.Logf("FIFO broken at %v from %v: %d after %d", self, r.from, r.seq, prev)
+					return false
+				}
+				lastSeq[r.from] = int(r.seq)
+			}
+			if len(recs) != expect[self] {
+				return false
+			}
+		}
+		return total == nProcs*nThreads*msgs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,604 @@
+// Package core is NCS, the NYNET Communication System — the paper's primary
+// contribution (§3, §4). It glues the two subsystems together:
+//
+//   - NCS_MTS (internal/mts): user-level threads, 16-level priority
+//     round-robin scheduling, block/unblock, synchronization.
+//   - NCS_MPS (this package + a transport): thread-addressed message
+//     passing. NCS_send and NCS_recv wake the *send* and *receive system
+//     threads* and block only the calling thread, never the process, so
+//     other threads compute while a transfer is in flight.
+//
+// A Proc is one NCS process (one per workstation). Its system threads run
+// at the highest priority; user compute threads are created with TCreate
+// and started with Start, mirroring the paper's generic application model
+// (Figure 10):
+//
+//	NCS_init(flow, error)   ->  core.New(Config{Flow: ..., Error: ...})
+//	NCS_t_create(fn, a, p)  ->  proc.TCreate(name, prio, fn)
+//	NCS_start()             ->  proc.Start() / sim engine Run
+//	NCS_send / NCS_recv     ->  Thread.Send / Thread.Recv
+//	NCS_bcast               ->  Thread.Bcast
+//	NCS_block / NCS_unblock ->  Thread.Block / Thread.Unblock
+//
+// The transport underneath decides the tier: the simulated or real TCP path
+// gives the Normal Speed Mode (Approach 1, what the paper benchmarks); the
+// ATM-API path (internal/nic) gives the High Speed Mode (Approach 2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mts"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/work"
+)
+
+// ProcID aliases the transport process identifier.
+type ProcID = transport.ProcID
+
+// Any is the wildcard (-1) in receive matching, as in the paper's
+// NCS_recv(-1, -1, ...).
+const Any = transport.Any
+
+// Reserved control tags (negative; user tags are >= 0).
+const (
+	tagFlowAck    = -2
+	tagBarrier    = -3
+	tagBarrierRel = -4
+	tagGBNAck     = -5
+)
+
+// Addr addresses one NCS thread: the paper's (thread, process) pair.
+type Addr struct {
+	Proc   ProcID
+	Thread int
+}
+
+// Config assembles a Proc.
+type Config struct {
+	// ID is the process identity; must match Endpoint.Proc().
+	ID ProcID
+	// RT is the process's thread runtime (one per workstation).
+	RT *mts.Runtime
+	// Endpoint carries messages (SimTCP, SimATM, Mem, UDP).
+	Endpoint transport.Endpoint
+	// Compute executes application work (sim: charge cost; real: run fn).
+	Compute work.Compute
+	// RecvCharge, if set, is the host CPU cost of moving an n-byte message
+	// from the protocol stack to the application, charged at consume time.
+	RecvCharge func(t *mts.Thread, n int)
+	// Flow selects the flow-control discipline (nil = NoFlowControl, the
+	// paper's Approach-1 default, which relies on p4/TCP underneath).
+	Flow FlowControl
+	// Error selects the error-control discipline (nil = NoErrorControl).
+	Error ErrorControl
+	// After schedules fn after a delay in the scheduler domain; retransmit
+	// and rate timers use it. Defaults to RT.After (real time). Sim
+	// harnesses must pass the engine's virtual timer.
+	After func(d time.Duration, fn func())
+	// ArrivalPollDelay models Approach 1's receive discovery latency: the
+	// NCS receive system thread polls p4 underneath (§4.2 — NCS_recv is
+	// built on p4_messages_available/p4_recv), so a message that arrives
+	// while the workstation is otherwise idle is noticed only at the next
+	// poll. When compute threads keep the CPU busy the poll coincides
+	// with the next context switch and costs nothing — that asymmetry is
+	// precisely how multithreading hides latency. The hook returns the
+	// extra delay to apply to the receive thread's wakeup for an arrival;
+	// nil means zero (Approach 2's trap-driven receive path).
+	ArrivalPollDelay func() time.Duration
+	// Tracer, if set, records per-thread timelines named
+	// "<TraceName>/t<idx>".
+	Tracer    *trace.Recorder
+	TraceName string
+}
+
+// sendReq is one queued transfer for the send system thread.
+type sendReq struct {
+	m *transport.Message
+	// caller is parked until the send thread finishes the transfer; nil
+	// for internally generated traffic (acks, retransmissions).
+	caller *mts.Thread
+	// raw skips flow/error processing: the message was already stamped
+	// (a go-back-N retransmission must keep its original sequence).
+	raw bool
+	// flowOK records that flow control already admitted this request (a
+	// deferred request re-enqueued with its credit attached).
+	flowOK bool
+}
+
+// recvWaiter is a thread parked in Recv.
+type recvWaiter struct {
+	t          *Thread
+	fromThread int
+	fromProc   ProcID
+	tag        int
+	got        *transport.Message
+}
+
+// Proc is one NCS process.
+type Proc struct {
+	cfg Config
+
+	sendThread *mts.Thread
+	recvThread *mts.Thread
+
+	sendQ []*sendReq
+	rxIn  []*transport.Message
+
+	// store holds delivered-but-unclaimed data messages.
+	store   []*transport.Message
+	waiters []*recvWaiter
+
+	threads  []*Thread
+	userLive int
+	closing  bool
+	started  bool
+
+	flow FlowControl
+	errc ErrorControl
+
+	bar barrierState
+
+	onException func(error)
+
+	// Stats.
+	sent, received int64
+}
+
+// New builds an NCS process: the paper's NCS_init. System threads (send,
+// receive, and whatever the flow/error controllers need) are created
+// immediately at the highest priority.
+func New(cfg Config) *Proc {
+	if cfg.Endpoint.Proc() != cfg.ID {
+		panic(fmt.Sprintf("core: id %d != endpoint proc %d", cfg.ID, cfg.Endpoint.Proc()))
+	}
+	if cfg.Compute == nil {
+		cfg.Compute = work.Real()
+	}
+	if cfg.After == nil {
+		cfg.After = cfg.RT.After
+	}
+	p := &Proc{cfg: cfg}
+	p.flow = cfg.Flow
+	if p.flow == nil {
+		p.flow = NoFlowControl{}
+	}
+	p.errc = cfg.Error
+	if p.errc == nil {
+		p.errc = NoErrorControl{}
+	}
+	p.onException = func(err error) {
+		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
+	}
+
+	cfg.Endpoint.SetHandler(p.deliver)
+	p.sendThread = cfg.RT.Create(fmt.Sprintf("ncs%d-send", cfg.ID), mts.PrioSystem, p.sendLoop)
+	p.recvThread = cfg.RT.Create(fmt.Sprintf("ncs%d-recv", cfg.ID), mts.PrioSystem, p.recvLoop)
+	p.flow.init(p)
+	p.errc.init(p)
+	return p
+}
+
+// ID returns the process identity.
+func (p *Proc) ID() ProcID { return p.cfg.ID }
+
+// RT returns the process runtime.
+func (p *Proc) RT() *mts.Runtime { return p.cfg.RT }
+
+// Sent returns the number of user messages sent.
+func (p *Proc) Sent() int64 { return p.sent }
+
+// Received returns the number of user messages consumed.
+func (p *Proc) Received() int64 { return p.received }
+
+// OnException installs the process's exception handler (paper §3.1,
+// "Exception Handling"). The default panics.
+func (p *Proc) OnException(fn func(error)) { p.onException = fn }
+
+func (p *Proc) exception(err error) { p.onException(err) }
+
+// Thread is one NCS user thread: the handle the application body receives.
+type Thread struct {
+	proc *Proc
+	idx  int
+	mt   *mts.Thread
+	// blockPermit banks an Unblock that raced ahead of the Block it was
+	// meant to release, so NCS_block/NCS_unblock pairs cannot lose a
+	// wakeup regardless of scheduling order.
+	blockPermit bool
+}
+
+// Idx returns the thread's NCS index within its process (the paper's
+// THREAD0/THREAD1 numbering).
+func (t *Thread) Idx() int { return t.idx }
+
+// Proc returns the owning process.
+func (t *Thread) Proc() *Proc { return t.proc }
+
+// MT returns the underlying scheduler thread.
+func (t *Thread) MT() *mts.Thread { return t.mt }
+
+// TCreate registers a user compute thread: the paper's NCS_t_create. It may
+// be called before Start or from a running thread.
+func (p *Proc) TCreate(name string, prio int, body func(*Thread)) *Thread {
+	t := &Thread{proc: p, idx: len(p.threads)}
+	p.threads = append(p.threads, t)
+	p.userLive++
+	t.mt = p.cfg.RT.Create(name, prio, func(mt *mts.Thread) {
+		p.traceThread(t, trace.Compute)
+		body(t)
+		p.traceThread(t, trace.Idle)
+		p.traceClose(t)
+		p.userDone()
+	})
+	return t
+}
+
+// Threads returns the user threads in creation order.
+func (p *Proc) Threads() []*Thread { return p.threads }
+
+// Start runs the process's runtime until all user threads finish: the
+// paper's NCS_start. Only for real-time transports — simulation harnesses
+// drive all processes through the engine instead.
+func (p *Proc) Start() {
+	p.started = true
+	p.cfg.RT.Run()
+}
+
+// userDone runs when a user thread body returns; the last one shuts the
+// system threads down so the runtime (or simulation) can terminate.
+func (p *Proc) userDone() {
+	p.userLive--
+	if p.userLive > 0 {
+		return
+	}
+	p.closing = true
+	p.flow.shutdown()
+	p.errc.shutdown()
+	// Wake the system threads only if they are parked at their idle
+	// points; a thread parked mid-transfer (wire drain, flow credit) will
+	// notice closing when it next returns to its idle check.
+	p.wakeIfIdle(p.sendThread, "send idle")
+	p.wakeIfIdle(p.recvThread, "recv idle")
+}
+
+func (p *Proc) wakeIfIdle(t *mts.Thread, idleReason string) {
+	if t.State() == mts.StateBlocked && t.BlockReason() == idleReason {
+		p.cfg.RT.Unblock(t, false)
+	}
+}
+
+// mayShutdown reports whether system threads are free to exit: user threads
+// are done and error control has nothing awaiting acknowledgement.
+func (p *Proc) mayShutdown() bool {
+	return p.closing && p.errc.pending() == 0
+}
+
+// checkShutdownWake nudges the system threads toward exit once the last
+// in-flight acknowledgement lands (or is abandoned) after the user threads
+// have already finished.
+func (p *Proc) checkShutdownWake() {
+	if !p.mayShutdown() {
+		return
+	}
+	p.wakeIfIdle(p.sendThread, "send idle")
+	p.wakeIfIdle(p.recvThread, "recv idle")
+}
+
+func (p *Proc) traceThread(t *Thread, s trace.State) {
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Set(fmt.Sprintf("%s/t%d", p.cfg.TraceName, t.idx), s)
+	}
+}
+
+func (p *Proc) traceClose(t *Thread) {
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Close(fmt.Sprintf("%s/t%d", p.cfg.TraceName, t.idx))
+	}
+}
+
+func (p *Proc) traceSys(name string, s trace.State) {
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Set(p.cfg.TraceName+"/"+name, s)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+
+// Send transmits data to (toProc, toThread): the paper's NCS_send. It wakes
+// the send system thread and parks the calling thread until the transfer is
+// handed to the network; meanwhile other threads of this process run — the
+// overlap mechanism of Figure 4.
+func (t *Thread) Send(toThread int, toProc ProcID, data []byte) {
+	t.SendTagged(0, toThread, toProc, data)
+}
+
+// SendTagged is Send with a user message tag (>= 0); an extension beyond
+// the paper's primitives for library completeness.
+func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
+	if tag < 0 {
+		panic("core: negative tags are reserved")
+	}
+	p := t.proc
+	m := &transport.Message{
+		From:       p.cfg.ID,
+		To:         toProc,
+		FromThread: t.idx,
+		ToThread:   toThread,
+		Tag:        tag,
+		Data:       data,
+	}
+	p.traceThread(t, trace.Idle)
+	p.enqueueSend(&sendReq{m: m, caller: t.mt})
+	t.mt.Park("ncs send")
+	p.traceThread(t, trace.Compute)
+	p.sent++
+}
+
+// enqueueSend queues a request and wakes the send thread if it is parked at
+// its idle point. If it is instead parked mid-transfer (wire drain, flow
+// credit, a charged CPU burst), it will find the queue when it loops — a
+// targeted wake there would corrupt whatever it is blocked on. Safe from
+// any scheduler-domain context (threads, event handlers, timers).
+func (p *Proc) enqueueSend(req *sendReq) {
+	p.sendQ = append(p.sendQ, req)
+	p.wakeIfIdle(p.sendThread, "send idle")
+}
+
+// enqueueControl queues an internally generated control message (no caller
+// to wake).
+func (p *Proc) enqueueControl(m *transport.Message) {
+	p.enqueueSend(&sendReq{m: m})
+}
+
+// sendLoop is the send system thread (Figure 8's "S").
+func (p *Proc) sendLoop(st *mts.Thread) {
+	for {
+		if len(p.sendQ) == 0 {
+			if p.mayShutdown() {
+				p.traceSysClose("send")
+				return
+			}
+			p.traceSys("send", trace.Idle)
+			st.Park("send idle")
+			continue
+		}
+		req := p.sendQ[0]
+		p.sendQ = p.sendQ[1:]
+		p.traceSys("send", trace.Comm)
+		// Data messages pass flow-control and error-control admission;
+		// a controller that cannot admit now takes ownership of the
+		// request and re-enqueues it later, so this loop never blocks on
+		// data while control traffic (credits, acks, retransmissions —
+		// raw requests bypass admission) is waiting behind it.
+		if req.m.Tag >= 0 && !req.raw {
+			if !req.flowOK {
+				if !p.flow.admit(req) {
+					continue
+				}
+				req.flowOK = true
+			}
+			if !p.errc.admit(req) {
+				continue
+			}
+		}
+		p.cfg.Endpoint.Send(st, req.m)
+		if req.caller != nil {
+			p.cfg.RT.Unblock(req.caller, false)
+		}
+	}
+}
+
+func (p *Proc) traceSysClose(name string) {
+	if p.cfg.Tracer != nil {
+		p.cfg.Tracer.Close(p.cfg.TraceName + "/" + name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receiving
+
+// Recv receives the next message addressed to this thread and matching
+// (fromThread, fromProc), either of which may be Any: the paper's NCS_recv.
+// Only the calling thread blocks. It returns the payload and the actual
+// source address.
+func (t *Thread) Recv(fromThread int, fromProc ProcID) ([]byte, Addr) {
+	return t.RecvTagged(Any, fromThread, fromProc)
+}
+
+// RecvTagged is Recv constrained to a user tag (or Any).
+func (t *Thread) RecvTagged(tag int, fromThread int, fromProc ProcID) ([]byte, Addr) {
+	data, addr, _ := t.recvTagOut(tag, fromThread, fromProc)
+	return data, addr
+}
+
+// TryRecv is the non-blocking probe-and-receive variant; ok is false when
+// no matching message is queued.
+func (t *Thread) TryRecv(fromThread int, fromProc ProcID) (data []byte, from Addr, ok bool) {
+	p := t.proc
+	i := p.matchStore(Any, fromThread, fromProc, t.idx)
+	if i < 0 {
+		return nil, Addr{}, false
+	}
+	m := p.store[i]
+	p.store = append(p.store[:i], p.store[i+1:]...)
+	p.consume(t.mt, m)
+	p.received++
+	return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, true
+}
+
+// MessagesAvailable reports whether a Recv with the given match would
+// complete immediately.
+func (t *Thread) MessagesAvailable(fromThread int, fromProc ProcID) bool {
+	return t.proc.matchStore(Any, fromThread, fromProc, t.idx) >= 0
+}
+
+// consume charges the host-side receive cost (stack-to-application copy) in
+// the context of the consuming scheduler thread.
+func (p *Proc) consume(mt *mts.Thread, m *transport.Message) {
+	if p.cfg.RecvCharge != nil {
+		p.cfg.RecvCharge(mt, len(m.Data)+transport.HeaderSize)
+	}
+}
+
+func (p *Proc) matchStore(tag, fromThread int, fromProc ProcID, toThread int) int {
+	for i, m := range p.store {
+		if p.matches(m, tag, fromThread, fromProc, toThread) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Proc) matches(m *transport.Message, tag, fromThread int, fromProc ProcID, toThread int) bool {
+	if m.ToThread != toThread {
+		return false
+	}
+	if tag != Any && m.Tag != tag {
+		return false
+	}
+	if fromThread != Any && m.FromThread != fromThread {
+		return false
+	}
+	if fromProc != ProcID(Any) && m.From != fromProc {
+		return false
+	}
+	return true
+}
+
+// deliver is the transport handler: it queues the raw message for the
+// receive system thread and wakes it (Figure 8's "R").
+func (p *Proc) deliver(m *transport.Message) {
+	p.rxIn = append(p.rxIn, m)
+	if p.cfg.ArrivalPollDelay != nil {
+		if d := p.cfg.ArrivalPollDelay(); d > 0 {
+			// Poll-discovered arrival: wake the receive thread when the
+			// underlying p4 poll would notice it. An earlier wake (a
+			// later arrival during compute, or a natural switch) finds
+			// this message too — polls inspect the whole queue.
+			p.cfg.After(d, func() { p.wakeIfIdle(p.recvThread, "recv idle") })
+			return
+		}
+	}
+	p.wakeIfIdle(p.recvThread, "recv idle")
+}
+
+// recvLoop is the receive system thread: it demultiplexes arrivals into
+// control handling, parked waiters, or the message store.
+func (p *Proc) recvLoop(rt *mts.Thread) {
+	for {
+		if len(p.rxIn) == 0 {
+			if p.mayShutdown() {
+				p.traceSysClose("recv")
+				return
+			}
+			p.traceSys("recv", trace.Idle)
+			rt.Park("recv idle")
+			continue
+		}
+		m := p.rxIn[0]
+		p.rxIn = p.rxIn[1:]
+		p.traceSys("recv", trace.Comm)
+
+		// Control traffic is consumed by the subsystem it belongs to.
+		if m.Tag < 0 {
+			p.handleControl(m)
+			continue
+		}
+		// Error control may suppress duplicates / out-of-order arrivals.
+		if !p.errc.onData(m) {
+			continue
+		}
+		// Flow control acknowledges the delivery (credit return).
+		p.flow.onDelivered(m)
+		p.dispatchData(rt, m)
+	}
+}
+
+// dispatchData hands a data message to a parked waiter or stores it.
+func (p *Proc) dispatchData(rt *mts.Thread, m *transport.Message) {
+	for i, w := range p.waiters {
+		if p.matches(m, w.tag, w.fromThread, w.fromProc, w.t.idx) {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			// The receive thread performs the stack-to-app copy in its
+			// own context, then wakes the compute thread.
+			p.consume(rt, m)
+			w.got = m
+			p.cfg.RT.Unblock(w.t.mt, false)
+			return
+		}
+	}
+	p.store = append(p.store, m)
+}
+
+func (p *Proc) handleControl(m *transport.Message) {
+	switch m.Tag {
+	case tagFlowAck:
+		p.flow.onControl(m)
+	case tagGBNAck:
+		p.errc.onControl(m)
+	case tagBarrier, tagBarrierRel:
+		p.bar.onMessage(p, m)
+	default:
+		p.exception(fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Thread utilities
+
+// Compute runs application work through the mode hook, tracing it as
+// computation.
+func (t *Thread) Compute(cost time.Duration, fn func()) {
+	t.proc.traceThread(t, trace.Compute)
+	t.proc.cfg.Compute(t.mt, cost, fn)
+}
+
+// Yield is the paper's voluntary context switch.
+func (t *Thread) Yield() { t.mt.Yield() }
+
+// Block parks the thread until another thread calls Unblock: the paper's
+// NCS_block (used by the JPEG host, Figure 17). An Unblock that already
+// happened is consumed immediately instead of being lost.
+func (t *Thread) Block() {
+	if t.blockPermit {
+		t.blockPermit = false
+		return
+	}
+	t.proc.traceThread(t, trace.Idle)
+	t.mt.Park("ncs block")
+	t.proc.traceThread(t, trace.Compute)
+}
+
+// Unblock wakes a thread parked in Block, or banks a permit if it has not
+// blocked yet: the paper's NCS_unblock.
+func (t *Thread) Unblock(other *Thread) {
+	if other.mt.State() == mts.StateBlocked && other.mt.BlockReason() == "ncs block" {
+		t.proc.cfg.RT.Unblock(other.mt, false)
+		return
+	}
+	other.blockPermit = true
+}
+
+// Bcast sends data to every address in list: the paper's NCS_bcast
+// (1-to-many group communication). Transfers are queued in list order
+// through the send system thread.
+func (t *Thread) Bcast(list []Addr, data []byte) {
+	for _, a := range list {
+		t.Send(a.Thread, a.Proc, data)
+	}
+}
+
+// Gather receives one message from every address in list (many-to-1),
+// returning payloads in list order.
+func (t *Thread) Gather(list []Addr) [][]byte {
+	out := make([][]byte, len(list))
+	for i, a := range list {
+		data, _ := t.Recv(a.Thread, a.Proc)
+		out[i] = data
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrorControl is the pluggable error-control discipline (the paper's error
+// control thread, selected by NCS_init's second argument). Approach 1 needs
+// none — p4/TCP is reliable — so NoErrorControl is the default; GoBackN
+// provides reliability over lossy transports (the Mem transport's fault
+// injection, or a raw ATM VC without SSCOP).
+//
+// Like FlowControl, admission is non-blocking: a full retransmission window
+// defers the request instead of parking the send system thread, which must
+// stay free to carry retransmissions and acknowledgements.
+type ErrorControl interface {
+	// Name identifies the discipline.
+	Name() string
+	init(p *Proc)
+	// admit either stamps and buffers m for transmission (true) or takes
+	// ownership of the request for deferred re-enqueue (false).
+	admit(req *sendReq) bool
+	// onData inspects an arriving data message; it returns false to
+	// suppress delivery (duplicate or out-of-order under go-back-N).
+	onData(m *transport.Message) bool
+	// onControl consumes this discipline's control messages (acks).
+	onControl(m *transport.Message)
+	// pending reports in-flight messages still awaiting acknowledgement;
+	// the process's system threads stay alive while it is non-zero.
+	pending() int
+	shutdown()
+}
+
+// NoErrorControl trusts the transport.
+type NoErrorControl struct{}
+
+// Name implements ErrorControl.
+func (NoErrorControl) Name() string                   { return "none" }
+func (NoErrorControl) init(*Proc)                     {}
+func (NoErrorControl) admit(*sendReq) bool            { return true }
+func (NoErrorControl) onData(*transport.Message) bool { return true }
+func (NoErrorControl) onControl(*transport.Message)   {}
+func (NoErrorControl) pending() int                   { return 0 }
+func (NoErrorControl) shutdown()                      {}
+
+// gbnPeer is per-remote-process go-back-N state.
+type gbnPeer struct {
+	// Sender side.
+	nextSeq  uint32               // next ESeq to assign
+	base     uint32               // oldest unacked
+	unacked  []*transport.Message // in-flight copies, base..nextSeq-1
+	deferred []*sendReq           // admission-deferred requests
+	timerOn  bool
+	// stall counts timer firings without base progress; MaxRetries bounds
+	// it so a dead peer cannot keep the process alive forever.
+	stall int
+
+	// Receiver side.
+	expected uint32
+}
+
+// GoBackN is sliding-window ARQ with cumulative acks and a retransmission
+// timer, per destination process. ESeq numbers start at 1; an ack carries
+// the highest in-order sequence received.
+type GoBackN struct {
+	// Window bounds in-flight messages per destination.
+	Window int
+	// Timeout is the retransmission timer.
+	Timeout time.Duration
+	// MaxRetries bounds consecutive timer firings without window progress
+	// toward one destination; past it the stuck window is abandoned
+	// (best-effort delivery to a dead peer). Defaults to 25.
+	MaxRetries int
+
+	p         *Proc
+	peers     map[ProcID]*gbnPeer
+	retrans   int64
+	abandoned int64
+}
+
+// NewGoBackN returns a go-back-N discipline.
+func NewGoBackN(window int, timeout time.Duration) *GoBackN {
+	if window < 1 || timeout <= 0 {
+		panic("core: go-back-N needs window >= 1 and positive timeout")
+	}
+	return &GoBackN{Window: window, Timeout: timeout, MaxRetries: 25}
+}
+
+// Name implements ErrorControl.
+func (g *GoBackN) Name() string { return "go-back-n" }
+
+// Retransmissions returns how many copies were re-sent; for tests and
+// experiment reporting.
+func (g *GoBackN) Retransmissions() int64 { return g.retrans }
+
+// Abandoned returns how many messages were given up on (dead peer).
+func (g *GoBackN) Abandoned() int64 { return g.abandoned }
+
+func (g *GoBackN) init(p *Proc) {
+	g.p = p
+	g.peers = make(map[ProcID]*gbnPeer)
+}
+
+func (g *GoBackN) peer(id ProcID) *gbnPeer {
+	pe := g.peers[id]
+	if pe == nil {
+		pe = &gbnPeer{nextSeq: 1, base: 1, expected: 1}
+		g.peers[id] = pe
+	}
+	return pe
+}
+
+func (g *GoBackN) admit(req *sendReq) bool {
+	pe := g.peer(req.m.To)
+	if pe.nextSeq-pe.base >= uint32(g.Window) {
+		pe.deferred = append(pe.deferred, req)
+		return false
+	}
+	req.m.ESeq = pe.nextSeq
+	pe.nextSeq++
+	// Buffer a private copy for retransmission: the transport may mutate
+	// Seq, and the application owns Data until delivery.
+	cp := *req.m
+	pe.unacked = append(pe.unacked, &cp)
+	g.armTimer(req.m.To, pe)
+	return true
+}
+
+func (g *GoBackN) armTimer(dst ProcID, pe *gbnPeer) {
+	if pe.timerOn {
+		return
+	}
+	pe.timerOn = true
+	g.p.cfg.After(g.Timeout, func() { g.timerFire(dst) })
+}
+
+func (g *GoBackN) timerFire(dst ProcID) {
+	pe := g.peers[dst]
+	if pe == nil {
+		return
+	}
+	pe.timerOn = false
+	if len(pe.unacked) == 0 {
+		return
+	}
+	pe.stall++
+	if pe.stall > g.MaxRetries {
+		// The peer looks dead: abandon the window so the process can
+		// terminate instead of retransmitting forever. Deferred requests
+		// flow out best-effort through the now-open window.
+		g.abandoned += int64(len(pe.unacked))
+		pe.base = pe.nextSeq
+		pe.unacked = nil
+		g.releaseDeferred(pe)
+		g.p.exception(fmt.Errorf("go-back-N: gave up on %d messages to proc %d", g.abandoned, dst))
+		g.p.checkShutdownWake()
+		return
+	}
+	// Go-back-N: re-queue every unacked message through the send thread,
+	// bypassing admission so the original sequence numbers are preserved.
+	for _, m := range pe.unacked {
+		cp := *m
+		g.retrans++
+		g.p.enqueueSend(&sendReq{m: &cp, raw: true})
+	}
+	g.armTimer(dst, pe)
+}
+
+func (g *GoBackN) onData(m *transport.Message) bool {
+	if m.ESeq == 0 {
+		// Peer not running error control (mixed configuration): accept.
+		return true
+	}
+	pe := g.peer(m.From)
+	switch {
+	case m.ESeq == pe.expected:
+		pe.expected++
+		g.sendAck(m.From, pe.expected-1)
+		return true
+	case m.ESeq < pe.expected:
+		// Duplicate: re-ack so the sender's window slides.
+		g.sendAck(m.From, pe.expected-1)
+		return false
+	default:
+		// Gap: discard and re-ack the last in-order sequence.
+		g.sendAck(m.From, pe.expected-1)
+		return false
+	}
+}
+
+func (g *GoBackN) sendAck(to ProcID, upTo uint32) {
+	g.p.enqueueControl(&transport.Message{
+		From: g.p.cfg.ID,
+		To:   to,
+		Tag:  tagGBNAck,
+		Data: putUint32(upTo),
+	})
+}
+
+func (g *GoBackN) onControl(m *transport.Message) {
+	pe := g.peer(m.From)
+	acked := getUint32(m.Data)
+	progressed := false
+	for len(pe.unacked) > 0 && pe.unacked[0].ESeq <= acked {
+		pe.unacked = pe.unacked[1:]
+		pe.base++
+		progressed = true
+	}
+	if progressed {
+		pe.stall = 0
+		g.releaseDeferred(pe)
+		g.p.checkShutdownWake()
+	}
+}
+
+// releaseDeferred re-enqueues admission-deferred requests while window
+// space is available.
+func (g *GoBackN) releaseDeferred(pe *gbnPeer) {
+	for len(pe.deferred) > 0 && pe.nextSeq-pe.base < uint32(g.Window) {
+		req := pe.deferred[0]
+		pe.deferred = pe.deferred[1:]
+		g.p.enqueueSend(req)
+	}
+}
+
+func (g *GoBackN) pending() int {
+	total := 0
+	for _, pe := range g.peers {
+		total += len(pe.unacked)
+	}
+	return total
+}
+
+func (g *GoBackN) shutdown() {}

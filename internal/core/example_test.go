@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+// Example reproduces the paper's generic application model (Figure 10):
+// initialize the environment, create computation threads, start them, and
+// communicate with thread-addressed send/receive.
+func Example() {
+	fabric := transport.NewMem()
+	newProc := func(id core.ProcID) *core.Proc {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("node%d", id), IdleTimeout: 10 * time.Second})
+		return core.New(core.Config{ID: id, RT: rt, Endpoint: fabric.Attach(transport.ProcID(id), rt)})
+	}
+	host, node := newProc(0), newProc(1)
+
+	host.TCreate("host", mts.PrioDefault, func(t *core.Thread) {
+		t.Send(0, 1, []byte("work item"))
+		reply, from := t.Recv(core.Any, 1)
+		fmt.Printf("host got %q from proc %d thread %d\n", reply, from.Proc, from.Thread)
+	})
+	node.TCreate("worker", mts.PrioDefault, func(t *core.Thread) {
+		data, from := t.Recv(core.Any, core.Any)
+		t.Send(from.Thread, from.Proc, append(data, []byte(" done")...))
+	})
+
+	done := make(chan struct{}, 2)
+	for _, p := range []*core.Proc{host, node} {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	<-done
+	<-done
+	// Output: host got "work item done" from proc 1 thread 0
+}
+
+// ExampleThread_Block shows the paper's NCS_block/NCS_unblock pair (used
+// by the JPEG host in Figure 17): thread 2 waits until thread 1 finishes a
+// setup step.
+func ExampleThread_Block() {
+	fabric := transport.NewMem()
+	rt := mts.New(mts.Config{Name: "node", IdleTimeout: 10 * time.Second})
+	proc := core.New(core.Config{ID: 0, RT: rt, Endpoint: fabric.Attach(0, rt)})
+
+	var t2 *core.Thread
+	proc.TCreate("t1", mts.PrioDefault, func(t *core.Thread) {
+		fmt.Println("t1: reading the image")
+		t.Unblock(t2)
+	})
+	t2 = proc.TCreate("t2", mts.PrioDefault, func(t *core.Thread) {
+		t.Block()
+		fmt.Println("t2: image is ready")
+	})
+	proc.Start()
+	// Output:
+	// t1: reading the image
+	// t2: image is ready
+}
+
+// ExamplePVM shows the PVM message-passing filter: pack a buffer, send it
+// to a task, unpack on the other side.
+func ExamplePVM() {
+	fabric := transport.NewMem()
+	newProc := func(id core.ProcID) *core.Proc {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("task%d", id), IdleTimeout: 10 * time.Second})
+		return core.New(core.Config{ID: id, RT: rt, Endpoint: fabric.Attach(transport.ProcID(id), rt)})
+	}
+	a, b := newProc(0), newProc(1)
+
+	a.TCreate("send", mts.PrioDefault, func(t *core.Thread) {
+		f := core.PVM(t)
+		buf := f.InitSend()
+		buf.PackInt32s([]int32{1, 2, 3})
+		f.Send(1, 9)
+	})
+	b.TCreate("recv", mts.PrioDefault, func(t *core.Thread) {
+		buf := core.PVM(t).Recv(0, 9)
+		ints, _ := buf.UnpackInt32s()
+		fmt.Println("received", ints)
+	})
+
+	done := make(chan struct{}, 2)
+	for _, p := range []*core.Proc{a, b} {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	<-done
+	<-done
+	// Output: received [1 2 3]
+}

@@ -1,0 +1,75 @@
+package core
+
+import "repro/internal/trace"
+
+// Message-passing filters (paper Figures 6 and 12): adapters that map the
+// primitives of existing tools onto NCS so "any parallel/distributed
+// application written using these tools can be ported to NCS without any
+// change". The p4 filter is implemented here; its API mirrors internal/p4
+// but every call rides the NCS system threads, so a program ported through
+// the filter gains non-blocking-process semantics for free when it runs
+// multiple threads.
+
+// P4Filter presents p4-style typed process-addressed primitives on top of
+// an NCS thread.
+type P4Filter struct {
+	t *Thread
+}
+
+// P4 returns the p4-style view of an NCS thread.
+func P4(t *Thread) *P4Filter { return &P4Filter{t: t} }
+
+// Send is p4_send: typed, process-addressed. It maps onto an NCS tagged
+// send targeted at the peer's same-index thread.
+func (f *P4Filter) Send(typ int, to ProcID, data []byte) {
+	f.t.SendTagged(typ, f.t.idx, to, data)
+}
+
+// Recv is p4_recv with -1 wildcards: *typ and *from are in/out parameters
+// updated to the actual type and source.
+func (f *P4Filter) Recv(typ *int, from *ProcID) []byte {
+	wantTag := Any
+	if typ != nil {
+		wantTag = *typ
+	}
+	wantFrom := ProcID(Any)
+	if from != nil {
+		wantFrom = *from
+	}
+	p := f.t.proc
+	// Match on tag and source process only (p4 has no thread addressing):
+	// accept from any source thread.
+	data, addr, tag := f.t.recvTagOut(wantTag, Any, wantFrom)
+	_ = p
+	if typ != nil {
+		*typ = tag
+	}
+	if from != nil {
+		*from = addr.Proc
+	}
+	return data
+}
+
+// MessagesAvailable is p4_messages_available.
+func (f *P4Filter) MessagesAvailable() bool {
+	return f.t.MessagesAvailable(Any, ProcID(Any))
+}
+
+// recvTagOut is RecvTagged that also reports the matched tag.
+func (t *Thread) recvTagOut(tag, fromThread int, fromProc ProcID) ([]byte, Addr, int) {
+	p := t.proc
+	if i := p.matchStore(tag, fromThread, fromProc, t.idx); i >= 0 {
+		m := p.store[i]
+		p.store = append(p.store[:i], p.store[i+1:]...)
+		p.consume(t.mt, m)
+		p.received++
+		return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, m.Tag
+	}
+	w := &recvWaiter{t: t, fromThread: fromThread, fromProc: fromProc, tag: tag}
+	p.waiters = append(p.waiters, w)
+	p.traceThread(t, trace.Idle)
+	t.mt.Park("ncs recv")
+	p.traceThread(t, trace.Compute)
+	p.received++
+	return w.got.Data, Addr{Proc: w.got.From, Thread: w.got.FromThread}, w.got.Tag
+}

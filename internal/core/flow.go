@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// FlowControl is the pluggable discipline the paper's flow-control thread
+// implements (Figure 5: different applications select different mechanisms
+// at run time — NCS_init(flow, error)).
+//
+// Admission is non-blocking by design: the send system thread must stay
+// free to carry control traffic (credit returns, acknowledgements) even
+// while data is gated, otherwise two peers with full windows toward each
+// other could deadlock waiting for credits neither can send. A discipline
+// that cannot admit a request queues it internally and re-enqueues it via
+// Proc.enqueueSend when state changes.
+type FlowControl interface {
+	// Name identifies the discipline.
+	Name() string
+	init(p *Proc)
+	// admit either clears m for transmission (true) or takes ownership of
+	// the request for deferred re-enqueue (false).
+	admit(req *sendReq) bool
+	// onDelivered runs when a data message has been delivered locally and
+	// may generate control traffic (e.g. a credit return).
+	onDelivered(m *transport.Message)
+	// onControl consumes this discipline's control messages.
+	onControl(m *transport.Message)
+	shutdown()
+}
+
+// NoFlowControl is the paper's Approach-1 default: rely on the transport
+// underneath (p4 over TCP provides its own flow control).
+type NoFlowControl struct{}
+
+// Name implements FlowControl.
+func (NoFlowControl) Name() string                   { return "none" }
+func (NoFlowControl) init(*Proc)                     {}
+func (NoFlowControl) admit(*sendReq) bool            { return true }
+func (NoFlowControl) onDelivered(*transport.Message) {}
+func (NoFlowControl) onControl(*transport.Message)   {}
+func (NoFlowControl) shutdown()                      {}
+
+// WindowFlow is credit-based flow control: at most Window messages may be
+// outstanding (sent but not credited back) per destination. Suited to the
+// parallel/distributed application class in Figure 5 (bursty, loss-averse).
+type WindowFlow struct {
+	// Window is the per-destination credit (>= 1).
+	Window int
+
+	p        *Proc
+	credits  map[ProcID]int
+	deferred map[ProcID][]*sendReq
+}
+
+// NewWindowFlow returns a window-based discipline.
+func NewWindowFlow(window int) *WindowFlow {
+	if window < 1 {
+		panic("core: window must be >= 1")
+	}
+	return &WindowFlow{Window: window}
+}
+
+// Name implements FlowControl.
+func (w *WindowFlow) Name() string { return "window" }
+
+func (w *WindowFlow) init(p *Proc) {
+	w.p = p
+	w.credits = make(map[ProcID]int)
+	w.deferred = make(map[ProcID][]*sendReq)
+}
+
+func (w *WindowFlow) creditsFor(dst ProcID) int {
+	if c, ok := w.credits[dst]; ok {
+		return c
+	}
+	w.credits[dst] = w.Window
+	return w.Window
+}
+
+func (w *WindowFlow) admit(req *sendReq) bool {
+	dst := req.m.To
+	if w.creditsFor(dst) > 0 {
+		w.credits[dst]--
+		return true
+	}
+	w.deferred[dst] = append(w.deferred[dst], req)
+	return false
+}
+
+func (w *WindowFlow) onDelivered(m *transport.Message) {
+	// Return a credit to the sender.
+	w.p.enqueueControl(&transport.Message{
+		From: w.p.cfg.ID,
+		To:   m.From,
+		Tag:  tagFlowAck,
+	})
+}
+
+func (w *WindowFlow) onControl(m *transport.Message) {
+	src := m.From
+	if q := w.deferred[src]; len(q) > 0 {
+		// Hand the freed credit straight to the oldest deferred request.
+		req := q[0]
+		w.deferred[src] = q[1:]
+		req.flowOK = true
+		w.p.enqueueSend(req)
+		return
+	}
+	w.credits[src] = w.creditsFor(src) + 1
+}
+
+func (w *WindowFlow) shutdown() {}
+
+// Outstanding returns how many credits are currently consumed toward dst;
+// tests use it to verify the window invariant.
+func (w *WindowFlow) Outstanding(dst ProcID) int {
+	return w.Window - w.creditsFor(dst)
+}
+
+// RateFlow is token-bucket pacing: data leaves at no more than Rate bytes
+// per second with bursts up to Bucket bytes. This is the QOS discipline a
+// Video-on-Demand application selects (Figure 5's FC1 vs FC2).
+type RateFlow struct {
+	// Rate is the sustained payload rate in bytes/second.
+	Rate float64
+	// Bucket is the burst capacity in bytes.
+	Bucket float64
+
+	p      *Proc
+	tokens float64
+	last   time.Duration // virtual/real time of last refill
+}
+
+// NewRateFlow returns a token-bucket discipline.
+func NewRateFlow(bytesPerSecond, bucketBytes float64) *RateFlow {
+	if bytesPerSecond <= 0 || bucketBytes <= 0 {
+		panic("core: rate and bucket must be positive")
+	}
+	return &RateFlow{Rate: bytesPerSecond, Bucket: bucketBytes}
+}
+
+// Name implements FlowControl.
+func (r *RateFlow) Name() string { return "rate" }
+
+func (r *RateFlow) init(p *Proc) {
+	r.p = p
+	r.tokens = r.Bucket
+	r.last = time.Duration(p.cfg.RT.Now())
+}
+
+func (r *RateFlow) refill() {
+	now := time.Duration(r.p.cfg.RT.Now())
+	r.tokens += r.Rate * (now - r.last).Seconds()
+	if r.tokens > r.Bucket {
+		r.tokens = r.Bucket
+	}
+	r.last = now
+}
+
+func (r *RateFlow) admit(req *sendReq) bool {
+	need := float64(len(req.m.Data))
+	if need > r.Bucket {
+		need = r.Bucket // oversized messages drain a full bucket
+	}
+	r.refill()
+	if r.tokens >= need {
+		r.tokens -= need
+		return true
+	}
+	// Re-enqueue once enough tokens will have accumulated.
+	deficit := need - r.tokens
+	wait := time.Duration(deficit / r.Rate * float64(time.Second))
+	if wait < time.Microsecond {
+		wait = time.Microsecond
+	}
+	p := r.p
+	p.cfg.After(wait, func() { p.enqueueSend(req) })
+	return false
+}
+
+func (r *RateFlow) onDelivered(*transport.Message) {}
+func (r *RateFlow) onControl(*transport.Message)   {}
+func (r *RateFlow) shutdown()                      {}
+
+// Tokens returns the current bucket level (after refill); for tests.
+func (r *RateFlow) Tokens() float64 {
+	r.refill()
+	return r.tokens
+}
+
+// putUint32 is a small helper shared by control-message payload writers.
+func putUint32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, v)
+	return b
+}
+
+func getUint32(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}

@@ -1,0 +1,49 @@
+package core
+
+// Group communication beyond Bcast/Gather (paper §3.1 lists 1-to-many,
+// many-to-1 and many-to-many classes). These are thin compositions of the
+// point-to-point primitives, which is exactly how the paper layers them:
+// group operations are library code above NCS_send/NCS_recv.
+
+// AllToAll performs the many-to-many exchange: every participating thread
+// contributes one payload per peer and receives one payload from each.
+// group lists the participating (process, thread) addresses in a globally
+// agreed order, and self must be this thread's position in it. data[i] is
+// the payload for group[i] (data[self] is returned as-is). The result is
+// indexed like group.
+func (t *Thread) AllToAll(group []Addr, self int, data [][]byte) [][]byte {
+	if len(group) != len(data) {
+		panic("core: AllToAll group/data length mismatch")
+	}
+	out := make([][]byte, len(group))
+	out[self] = data[self]
+	// Send to everyone first (each Send parks only until the transfer is
+	// handed off), then collect; ordering by group index keeps the
+	// pattern deadlock-free since receives match on explicit sources.
+	for i, a := range group {
+		if i == self {
+			continue
+		}
+		t.Send(a.Thread, a.Proc, data[i])
+	}
+	for i, a := range group {
+		if i == self {
+			continue
+		}
+		payload, _ := t.Recv(a.Thread, a.Proc)
+		out[i] = payload
+	}
+	return out
+}
+
+// Reduce gathers one payload from every address in list and folds them
+// with fn, seeded by own. Like the paper's many-to-1 class with a
+// combining function; the root calls Reduce, the leaves just Send.
+func (t *Thread) Reduce(list []Addr, own []byte, fn func(acc, next []byte) []byte) []byte {
+	acc := own
+	for _, a := range list {
+		payload, _ := t.Recv(a.Thread, a.Proc)
+		acc = fn(acc, payload)
+	}
+	return acc
+}

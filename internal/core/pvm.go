@@ -1,0 +1,181 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// PVM message-passing filter (paper Figures 6 and 12; §6 notes the
+// NCS_MTS/PVM investigation). PVM programs talk to typed pack buffers and
+// task-addressed tagged messages:
+//
+//	pvm_initsend();  pvm_pkint(...);  pvm_send(tid, tag)
+//	pvm_recv(tid, tag);  pvm_upkint(...)
+//
+// The filter maps a PVM "task" onto an NCS (process, same-index thread)
+// address, exactly like the p4 filter, and implements the pack/unpack
+// buffer with type-checked sections so mismatched unpacks fail loudly
+// instead of silently misreading.
+
+// PVMFilter presents PVM-style primitives on top of an NCS thread.
+type PVMFilter struct {
+	t    *Thread
+	send *PVMBuffer
+}
+
+// PVM returns the PVM-style view of an NCS thread.
+func PVM(t *Thread) *PVMFilter { return &PVMFilter{t: t} }
+
+// Section type codes in the buffer encoding.
+const (
+	pvmInt32   = 1
+	pvmFloat64 = 2
+	pvmBytes   = 3
+)
+
+// PVMBuffer is a typed pack/unpack buffer.
+type PVMBuffer struct {
+	data []byte
+	pos  int
+}
+
+// ErrPVMUnpack reports a type or bounds mismatch during unpacking.
+var ErrPVMUnpack = errors.New("core: pvm unpack mismatch")
+
+// InitSend starts a fresh send buffer: pvm_initsend.
+func (f *PVMFilter) InitSend() *PVMBuffer {
+	f.send = &PVMBuffer{}
+	return f.send
+}
+
+func (b *PVMBuffer) section(code byte, n int) {
+	b.data = append(b.data, code)
+	var len4 [4]byte
+	binary.BigEndian.PutUint32(len4[:], uint32(n))
+	b.data = append(b.data, len4[:]...)
+}
+
+// PackInt32s appends an int32 array: pvm_pkint.
+func (b *PVMBuffer) PackInt32s(xs []int32) {
+	b.section(pvmInt32, len(xs))
+	for _, x := range xs {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], uint32(x))
+		b.data = append(b.data, v[:]...)
+	}
+}
+
+// PackFloat64s appends a float64 array: pvm_pkdouble.
+func (b *PVMBuffer) PackFloat64s(xs []float64) {
+	b.section(pvmFloat64, len(xs))
+	for _, x := range xs {
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], math.Float64bits(x))
+		b.data = append(b.data, v[:]...)
+	}
+}
+
+// PackBytes appends raw bytes: pvm_pkbyte.
+func (b *PVMBuffer) PackBytes(xs []byte) {
+	b.section(pvmBytes, len(xs))
+	b.data = append(b.data, xs...)
+}
+
+func (b *PVMBuffer) expect(code byte) (int, error) {
+	if b.pos+5 > len(b.data) {
+		return 0, ErrPVMUnpack
+	}
+	if b.data[b.pos] != code {
+		return 0, ErrPVMUnpack
+	}
+	n := int(binary.BigEndian.Uint32(b.data[b.pos+1:]))
+	b.pos += 5
+	return n, nil
+}
+
+// UnpackInt32s reads the next section as int32s: pvm_upkint.
+func (b *PVMBuffer) UnpackInt32s() ([]int32, error) {
+	n, err := b.expect(pvmInt32)
+	if err != nil {
+		return nil, err
+	}
+	if b.pos+4*n > len(b.data) {
+		return nil, ErrPVMUnpack
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(b.data[b.pos:]))
+		b.pos += 4
+	}
+	return out, nil
+}
+
+// UnpackFloat64s reads the next section as float64s: pvm_upkdouble.
+func (b *PVMBuffer) UnpackFloat64s() ([]float64, error) {
+	n, err := b.expect(pvmFloat64)
+	if err != nil {
+		return nil, err
+	}
+	if b.pos+8*n > len(b.data) {
+		return nil, ErrPVMUnpack
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b.data[b.pos:]))
+		b.pos += 8
+	}
+	return out, nil
+}
+
+// UnpackBytes reads the next section as raw bytes: pvm_upkbyte.
+func (b *PVMBuffer) UnpackBytes() ([]byte, error) {
+	n, err := b.expect(pvmBytes)
+	if err != nil {
+		return nil, err
+	}
+	if b.pos+n > len(b.data) {
+		return nil, ErrPVMUnpack
+	}
+	out := append([]byte(nil), b.data[b.pos:b.pos+n]...)
+	b.pos += n
+	return out, nil
+}
+
+// Send transmits the current send buffer to a task with a message tag:
+// pvm_send. The buffer remains valid for Mcast-style resends.
+func (f *PVMFilter) Send(tid ProcID, tag int) {
+	if f.send == nil {
+		panic("core: pvm Send without InitSend")
+	}
+	f.t.SendTagged(tag, f.t.idx, tid, f.send.data)
+}
+
+// Mcast transmits the current buffer to several tasks: pvm_mcast.
+func (f *PVMFilter) Mcast(tids []ProcID, tag int) {
+	for _, tid := range tids {
+		f.Send(tid, tag)
+	}
+}
+
+// Recv blocks until a message with the given source task and tag arrives
+// (Any wildcards both): pvm_recv. It returns the unpack buffer.
+func (f *PVMFilter) Recv(tid ProcID, tag int) *PVMBuffer {
+	data, _ := f.t.RecvTagged(tag, Any, tid)
+	return &PVMBuffer{data: data}
+}
+
+// NRecv is the non-blocking probe-and-receive: pvm_nrecv. ok reports
+// whether a matching message was consumed.
+func (f *PVMFilter) NRecv(tid ProcID, tag int) (*PVMBuffer, bool) {
+	p := f.t.proc
+	i := p.matchStore(tag, Any, tid, f.t.idx)
+	if i < 0 {
+		return nil, false
+	}
+	m := p.store[i]
+	p.store = append(p.store[:i], p.store[i+1:]...)
+	p.consume(f.t.mt, m)
+	p.received++
+	return &PVMBuffer{data: m.Data}, true
+}

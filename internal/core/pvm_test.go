@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mts"
+)
+
+func TestPVMBufferPackUnpack(t *testing.T) {
+	b := &PVMBuffer{}
+	b.PackInt32s([]int32{1, -2, 3})
+	b.PackFloat64s([]float64{3.14, -2.72})
+	b.PackBytes([]byte("tail"))
+
+	r := &PVMBuffer{data: b.data}
+	ints, err := r.UnpackInt32s()
+	if err != nil || len(ints) != 3 || ints[1] != -2 {
+		t.Fatalf("ints = %v, err %v", ints, err)
+	}
+	floats, err := r.UnpackFloat64s()
+	if err != nil || floats[0] != 3.14 || floats[1] != -2.72 {
+		t.Fatalf("floats = %v, err %v", floats, err)
+	}
+	raw, err := r.UnpackBytes()
+	if err != nil || !bytes.Equal(raw, []byte("tail")) {
+		t.Fatalf("bytes = %q, err %v", raw, err)
+	}
+}
+
+func TestPVMBufferTypeMismatch(t *testing.T) {
+	b := &PVMBuffer{}
+	b.PackInt32s([]int32{1})
+	r := &PVMBuffer{data: b.data}
+	if _, err := r.UnpackFloat64s(); err != ErrPVMUnpack {
+		t.Fatalf("err = %v, want ErrPVMUnpack", err)
+	}
+}
+
+func TestPVMBufferTruncated(t *testing.T) {
+	b := &PVMBuffer{}
+	b.PackFloat64s([]float64{1, 2, 3})
+	r := &PVMBuffer{data: b.data[:10]}
+	if _, err := r.UnpackFloat64s(); err != ErrPVMUnpack {
+		t.Fatalf("err = %v, want ErrPVMUnpack", err)
+	}
+}
+
+func TestPVMSendRecvAcrossProcs(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	var ints []int32
+	var floats []float64
+	procs[0].TCreate("pvm-sender", mts.PrioDefault, func(th *Thread) {
+		f := PVM(th)
+		buf := f.InitSend()
+		buf.PackInt32s([]int32{10, 20})
+		buf.PackFloat64s([]float64{1.5})
+		f.Send(1, 99)
+	})
+	procs[1].TCreate("pvm-recv", mts.PrioDefault, func(th *Thread) {
+		f := PVM(th)
+		buf := f.Recv(0, 99)
+		ints, _ = buf.UnpackInt32s()
+		floats, _ = buf.UnpackFloat64s()
+	})
+	eng.Run()
+	if len(ints) != 2 || ints[0] != 10 || ints[1] != 20 || floats[0] != 1.5 {
+		t.Fatalf("ints=%v floats=%v", ints, floats)
+	}
+}
+
+func TestPVMMcast(t *testing.T) {
+	eng, procs := simCluster(t, 3, nil)
+	got := make([]int32, 3)
+	procs[0].TCreate("caster", mts.PrioDefault, func(th *Thread) {
+		f := PVM(th)
+		f.InitSend().PackInt32s([]int32{7})
+		f.Mcast([]ProcID{1, 2}, 5)
+	})
+	for i := 1; i < 3; i++ {
+		i := i
+		procs[i].TCreate("member", mts.PrioDefault, func(th *Thread) {
+			buf := PVM(th).Recv(Any, 5)
+			v, _ := buf.UnpackInt32s()
+			got[i] = v[0]
+		})
+	}
+	eng.Run()
+	if got[1] != 7 || got[2] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPVMNRecv(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	var firstProbe, laterProbe bool
+	procs[1].TCreate("prober", mts.PrioDefault, func(th *Thread) {
+		f := PVM(th)
+		_, firstProbe = f.NRecv(Any, Any)
+		// Block until something arrives, then probe again for the second.
+		f.Recv(Any, Any)
+		for {
+			if _, ok := f.NRecv(Any, Any); ok {
+				laterProbe = true
+				return
+			}
+			th.Compute(1e6, nil) // 1 ms
+		}
+	})
+	procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
+		f := PVM(th)
+		f.InitSend().PackBytes([]byte("a"))
+		f.Send(1, 1)
+		f.InitSend().PackBytes([]byte("b"))
+		f.Send(1, 2)
+	})
+	eng.Run()
+	if firstProbe {
+		t.Fatal("NRecv matched before any send")
+	}
+	if !laterProbe {
+		t.Fatal("NRecv never matched the queued message")
+	}
+}
+
+func TestPVMSendWithoutInitPanics(t *testing.T) {
+	eng, procs := simCluster(t, 1, nil)
+	procs[0].TCreate("bad", mts.PrioDefault, func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send without InitSend accepted")
+			}
+		}()
+		PVM(th).Send(0, 1)
+	})
+	eng.Run()
+}

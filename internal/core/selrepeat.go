@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// SelectiveRepeat is the second real error-control discipline: per-message
+// acknowledgement and retransmission, with a receive window that buffers
+// out-of-order arrivals instead of discarding them (go-back-N's weakness
+// under loss). It demonstrates that the paper's "error control thread" slot
+// is genuinely pluggable: the discipline is selected per application at
+// NCS_init time, exactly like flow control in Figure 5.
+type SelectiveRepeat struct {
+	// Window bounds in-flight messages per destination.
+	Window int
+	// Timeout is the per-message retransmission timer.
+	Timeout time.Duration
+	// MaxRetries bounds per-message retransmissions before the message is
+	// abandoned (dead peer). Defaults to 25.
+	MaxRetries int
+
+	p         *Proc
+	peers     map[ProcID]*srPeer
+	retrans   int64
+	abandoned int64
+}
+
+type srPending struct {
+	m       *transport.Message
+	acked   bool
+	retries int
+}
+
+type srPeer struct {
+	// Sender side.
+	nextSeq  uint32
+	base     uint32
+	inflight map[uint32]*srPending
+	deferred []*sendReq
+
+	// Receiver side: expected is the next in-order sequence; buffered
+	// holds arrived-but-out-of-order messages.
+	expected uint32
+	buffered map[uint32]*transport.Message
+}
+
+// NewSelectiveRepeat returns a selective-repeat discipline.
+func NewSelectiveRepeat(window int, timeout time.Duration) *SelectiveRepeat {
+	if window < 1 || timeout <= 0 {
+		panic("core: selective repeat needs window >= 1 and positive timeout")
+	}
+	return &SelectiveRepeat{Window: window, Timeout: timeout, MaxRetries: 25}
+}
+
+// Name implements ErrorControl.
+func (s *SelectiveRepeat) Name() string { return "selective-repeat" }
+
+// Retransmissions returns how many copies were re-sent.
+func (s *SelectiveRepeat) Retransmissions() int64 { return s.retrans }
+
+// Abandoned returns how many messages were given up on.
+func (s *SelectiveRepeat) Abandoned() int64 { return s.abandoned }
+
+func (s *SelectiveRepeat) init(p *Proc) {
+	s.p = p
+	s.peers = make(map[ProcID]*srPeer)
+}
+
+func (s *SelectiveRepeat) peer(id ProcID) *srPeer {
+	pe := s.peers[id]
+	if pe == nil {
+		pe = &srPeer{
+			nextSeq:  1,
+			base:     1,
+			expected: 1,
+			inflight: make(map[uint32]*srPending),
+			buffered: make(map[uint32]*transport.Message),
+		}
+		s.peers[id] = pe
+	}
+	return pe
+}
+
+func (s *SelectiveRepeat) admit(req *sendReq) bool {
+	pe := s.peer(req.m.To)
+	if pe.nextSeq-pe.base >= uint32(s.Window) {
+		pe.deferred = append(pe.deferred, req)
+		return false
+	}
+	req.m.ESeq = pe.nextSeq
+	pe.nextSeq++
+	cp := *req.m
+	pending := &srPending{m: &cp}
+	pe.inflight[cp.ESeq] = pending
+	s.armTimer(req.m.To, cp.ESeq)
+	return true
+}
+
+func (s *SelectiveRepeat) armTimer(dst ProcID, seq uint32) {
+	s.p.cfg.After(s.Timeout, func() { s.timerFire(dst, seq) })
+}
+
+func (s *SelectiveRepeat) timerFire(dst ProcID, seq uint32) {
+	pe := s.peers[dst]
+	if pe == nil {
+		return
+	}
+	pending, ok := pe.inflight[seq]
+	if !ok || pending.acked {
+		return
+	}
+	pending.retries++
+	if pending.retries > s.MaxRetries {
+		s.abandoned++
+		delete(pe.inflight, seq)
+		s.slide(pe)
+		s.p.exception(fmt.Errorf("selective-repeat: gave up on seq %d to proc %d", seq, dst))
+		s.p.checkShutdownWake()
+		return
+	}
+	cp := *pending.m
+	s.retrans++
+	s.p.enqueueSend(&sendReq{m: &cp, raw: true})
+	s.armTimer(dst, seq)
+}
+
+// slide advances base past acked/abandoned sequences and releases deferred
+// requests into the freed window space.
+func (s *SelectiveRepeat) slide(pe *srPeer) {
+	for pe.base < pe.nextSeq {
+		pending, ok := pe.inflight[pe.base]
+		if ok && !pending.acked {
+			break
+		}
+		delete(pe.inflight, pe.base)
+		pe.base++
+	}
+	for len(pe.deferred) > 0 && pe.nextSeq-pe.base < uint32(s.Window) {
+		req := pe.deferred[0]
+		pe.deferred = pe.deferred[1:]
+		s.p.enqueueSend(req)
+	}
+}
+
+func (s *SelectiveRepeat) onData(m *transport.Message) bool {
+	if m.ESeq == 0 {
+		return true
+	}
+	pe := s.peer(m.From)
+	// Ack every received copy individually (selective ack).
+	s.p.enqueueControl(&transport.Message{
+		From: s.p.cfg.ID,
+		To:   m.From,
+		Tag:  tagGBNAck, // same control channel; payload is the acked seq
+		Data: putUint32(m.ESeq),
+	})
+	switch {
+	case m.ESeq == pe.expected:
+		pe.expected++
+		// Flush buffered successors. They must be processed *before*
+		// anything already queued behind the current message — a raw
+		// arrival sitting in rxIn could otherwise match the advanced
+		// expected sequence and leapfrog them — so they are prepended,
+		// with sequences cleared so this discipline passes them through
+		// instead of re-filtering them as duplicates.
+		var flushed []*transport.Message
+		for {
+			next, ok := pe.buffered[pe.expected]
+			if !ok {
+				break
+			}
+			delete(pe.buffered, pe.expected)
+			pe.expected++
+			next.ESeq = 0
+			flushed = append(flushed, next)
+		}
+		if len(flushed) > 0 {
+			s.p.rxIn = append(flushed, s.p.rxIn...)
+		}
+		return true
+	case m.ESeq > pe.expected:
+		if _, dup := pe.buffered[m.ESeq]; !dup {
+			pe.buffered[m.ESeq] = m
+		}
+		return false
+	default:
+		return false // duplicate of an already-delivered message
+	}
+}
+
+func (s *SelectiveRepeat) onControl(m *transport.Message) {
+	pe := s.peer(m.From)
+	seq := getUint32(m.Data)
+	if pending, ok := pe.inflight[seq]; ok {
+		pending.acked = true
+		s.slide(pe)
+		s.p.checkShutdownWake()
+	}
+}
+
+func (s *SelectiveRepeat) pending() int {
+	total := 0
+	for _, pe := range s.peers {
+		for _, pending := range pe.inflight {
+			if !pending.acked {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func (s *SelectiveRepeat) shutdown() {}

@@ -1,0 +1,115 @@
+package hostif
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSocketPathAccessCount(t *testing.T) {
+	p := NewSocketPath(1 << 16)
+	app := make([]byte, 4096)
+	p.Transmit(app)
+	want := int64(5 * 4096 / WordSize)
+	if p.BusAccesses() != want {
+		t.Fatalf("accesses = %d, want %d (5/word)", p.BusAccesses(), want)
+	}
+	if p.AccessesPerWord() != 5 {
+		t.Fatalf("AccessesPerWord = %d, want 5", p.AccessesPerWord())
+	}
+}
+
+func TestNCSPathAccessCount(t *testing.T) {
+	p := NewNCSPath(1 << 16)
+	app := make([]byte, 4096)
+	p.Transmit(app)
+	want := int64(3 * 4096 / WordSize)
+	if p.BusAccesses() != want {
+		t.Fatalf("accesses = %d, want %d (3/word)", p.BusAccesses(), want)
+	}
+	if p.AccessesPerWord() != 3 {
+		t.Fatalf("AccessesPerWord = %d, want 3", p.AccessesPerWord())
+	}
+}
+
+func TestAccessRatioIsFiveToThree(t *testing.T) {
+	// Figure 3's claim, as counted by the running code rather than the
+	// declared constants.
+	s := NewSocketPath(8192)
+	n := NewNCSPath(8192)
+	app := make([]byte, 8192)
+	s.Transmit(app)
+	n.Transmit(app)
+	if s.BusAccesses()*3 != n.BusAccesses()*5 {
+		t.Fatalf("ratio %d:%d, want 5:3", s.BusAccesses(), n.BusAccesses())
+	}
+}
+
+func TestTransmitPreservesData(t *testing.T) {
+	for _, p := range []Datapath{NewSocketPath(4096), NewNCSPath(4096)} {
+		app := make([]byte, 1000)
+		for i := range app {
+			app[i] = byte(i * 7)
+		}
+		out := p.Transmit(app)
+		if !bytes.Equal(out, app) {
+			t.Fatalf("%s: transmit corrupted data", p.Name())
+		}
+	}
+}
+
+func TestReceivePreservesData(t *testing.T) {
+	for _, p := range []Datapath{NewSocketPath(4096), NewNCSPath(4096)} {
+		nic := make([]byte, 1000)
+		for i := range nic {
+			nic[i] = byte(i * 13)
+		}
+		app := make([]byte, 1000)
+		p.Receive(nic, app)
+		if !bytes.Equal(app, nic) {
+			t.Fatalf("%s: receive corrupted data", p.Name())
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewSocketPath(4096)
+	p.Transmit(make([]byte, 100))
+	p.Reset()
+	if p.BusAccesses() != 0 {
+		t.Fatal("Reset did not clear counter")
+	}
+}
+
+func TestOversizeTransferPanics(t *testing.T) {
+	p := NewNCSPath(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize transfer not rejected")
+		}
+	}()
+	p.Transmit(make([]byte, 65))
+}
+
+func TestQuickEndToEndBothPaths(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		s := NewSocketPath(2048)
+		n := NewNCSPath(2048)
+		sOut := append([]byte(nil), s.Transmit(data)...)
+		nOut := append([]byte(nil), n.Transmit(data)...)
+		if !bytes.Equal(sOut, data) || !bytes.Equal(nOut, data) {
+			return false
+		}
+		appS := make([]byte, len(data))
+		appN := make([]byte, len(data))
+		s.Receive(data, appS)
+		n.Receive(data, appN)
+		return bytes.Equal(appS, data) && bytes.Equal(appN, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package mts_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mts"
+)
+
+// Example shows the cooperative scheduling contract: threads run one at a
+// time, in priority order, switching only at explicit yield points.
+func Example() {
+	rt := mts.New(mts.Config{Name: "demo", IdleTimeout: time.Second})
+	rt.Create("low", 10, func(t *mts.Thread) {
+		fmt.Println("low priority runs last")
+	})
+	rt.Create("high", 2, func(t *mts.Thread) {
+		fmt.Println("high priority runs first")
+		t.Yield()
+		fmt.Println("high again after the yield (round robin has no peer)")
+	})
+	rt.Run()
+	// Output:
+	// high priority runs first
+	// high again after the yield (round robin has no peer)
+	// low priority runs last
+}
+
+// ExampleSemaphore shows the paper's wait/signal synchronization class.
+func ExampleSemaphore() {
+	rt := mts.New(mts.Config{Name: "sem", IdleTimeout: time.Second})
+	sem := mts.NewSemaphore(rt, 0)
+	rt.Create("waiter", mts.PrioDefault, func(t *mts.Thread) {
+		sem.Wait(t)
+		fmt.Println("signalled")
+	})
+	rt.Create("signaller", mts.PrioDefault, func(t *mts.Thread) {
+		fmt.Println("signalling")
+		sem.Signal()
+	})
+	rt.Run()
+	// Output:
+	// signalling
+	// signalled
+}

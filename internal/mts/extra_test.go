@@ -1,0 +1,96 @@
+package mts
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOnSwitchHook(t *testing.T) {
+	var switched []string
+	rt := New(Config{
+		Name:        "hooked",
+		IdleTimeout: time.Second,
+		OnSwitch:    func(th *Thread) { switched = append(switched, th.Name()) },
+	})
+	rt.Create("a", PrioDefault, func(th *Thread) { th.Yield() })
+	rt.Create("b", PrioDefault, func(th *Thread) {})
+	rt.Run()
+	// a, b, a again after the yield.
+	if len(switched) != 3 || switched[0] != "a" || switched[1] != "b" || switched[2] != "a" {
+		t.Fatalf("switch sequence = %v", switched)
+	}
+}
+
+func TestThreadLookup(t *testing.T) {
+	rt := New(Config{Name: "lookup", IdleTimeout: time.Second})
+	a := rt.Create("a", 3, func(th *Thread) {})
+	if got := rt.Thread(a.ID()); got != a {
+		t.Fatal("Thread(id) did not return the thread")
+	}
+	if rt.Thread(99) != nil || rt.Thread(-1) != nil {
+		t.Fatal("out-of-range lookup not nil")
+	}
+	if a.Priority() != 3 || a.Name() != "a" || a.Runtime() != rt {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDumpStateShowsBlockReason(t *testing.T) {
+	rt := New(Config{Name: "dump", IdleTimeout: time.Second})
+	rt.Create("stuck", PrioDefault, func(th *Thread) { th.Park("waiting for godot") })
+	rt.Dispatch()
+	dump := rt.DumpState()
+	if !strings.Contains(dump, "waiting for godot") || !strings.Contains(dump, "stuck") {
+		t.Fatalf("dump missing details:\n%s", dump)
+	}
+	rt.Kill()
+}
+
+func TestSwitchCountAdvances(t *testing.T) {
+	rt := New(Config{Name: "sw", IdleTimeout: time.Second})
+	rt.Create("a", PrioDefault, func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			th.Yield()
+		}
+	})
+	rt.Run()
+	if rt.Switches() < 6 {
+		t.Fatalf("switches = %d, want >= 6", rt.Switches())
+	}
+}
+
+func TestCurrentIsNilOutsideDispatch(t *testing.T) {
+	rt := New(Config{Name: "cur", IdleTimeout: time.Second})
+	var insideCur *Thread
+	th := rt.Create("a", PrioDefault, func(t2 *Thread) { insideCur = rt.Current() })
+	rt.Run()
+	if insideCur != th {
+		t.Fatal("Current() inside body != the running thread")
+	}
+	if rt.Current() != nil {
+		t.Fatal("Current() after Run should be nil")
+	}
+}
+
+func TestPriorityOutOfRangePanics(t *testing.T) {
+	rt := New(Config{Name: "bad"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("priority 16 accepted")
+		}
+	}()
+	rt.Create("x", NumPriorities, func(th *Thread) {})
+}
+
+func TestYieldOutsideThreadPanics(t *testing.T) {
+	rt := New(Config{Name: "panic", IdleTimeout: time.Second})
+	th := rt.Create("a", PrioDefault, func(t2 *Thread) {})
+	rt.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Yield from outside the thread accepted")
+		}
+	}()
+	th.Yield()
+}

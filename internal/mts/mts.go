@@ -1,0 +1,506 @@
+// Package mts implements NCS_MTS, the multithreaded subsystem of the NYNET
+// Communication System (paper §4.1).
+//
+// The paper builds NCS_MTS on QuickThreads, a user-space thread toolkit: all
+// threads live inside one conventional process, the host OS knows nothing
+// about them, and scheduling is non-preemptive — a thread runs until it
+// blocks or yields at an NCS call. NCS_MTS adds what QuickThreads lacks:
+// scheduling (16 priority levels, round-robin within a level, doubly-linked
+// ready rings and blocked queue, Figure 9) and synchronization.
+//
+// This package reproduces those semantics on top of goroutines. Each Thread
+// is carried by a goroutine, but a per-Runtime scheduler owns a single CPU
+// token: exactly one thread executes at any instant, context switches happen
+// only at explicit calls (Yield, Park, Exit, and the messaging calls layered
+// above), and the dispatch order is the paper's deterministic priority +
+// round-robin. Go's preemptive parallelism is deliberately not inherited —
+// the whole point of the paper's overlap argument is the behaviour of
+// cooperative threads on a single 1995-era processor.
+//
+// A Runtime can be driven two ways:
+//
+//   - Run(): a self-contained real-time loop (used by examples and real-mode
+//     tests). External completions (network I/O, timers) enter through Post.
+//   - Dispatch()/DispatchThread(): single-step primitives used by the
+//     discrete-event simulation engine (internal/sim), which interleaves
+//     thread execution with virtual-time network events.
+package mts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/list"
+	"repro/internal/vclock"
+)
+
+// NumPriorities is the number of scheduler priority levels. The paper's
+// current implementation has N = 16.
+const NumPriorities = 16
+
+// Priority levels used by convention across the repo. Lower value = higher
+// priority. System threads (send/receive/flow/error control) outrank user
+// compute threads so a completed transfer is noticed at the next switch.
+const (
+	PrioSystem  = 0
+	PrioFlow    = 1
+	PrioDefault = 8
+	PrioLowest  = NumPriorities - 1
+)
+
+// State is a thread's scheduler state. The paper names three states
+// (blocked, runnable, running); New and Done bracket the lifecycle.
+type State uint8
+
+// Thread states.
+const (
+	StateNew State = iota
+	StateRunnable
+	StateRunning
+	StateBlocked
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// ThreadID identifies a thread within its Runtime. IDs are dense and start
+// at 0 in creation order, matching the paper's tid handles.
+type ThreadID int
+
+// ErrKilled is the panic payload used to unwind a killed thread's goroutine.
+type killedSignal struct{}
+
+// Thread is a single NCS_MTS thread. All methods must be called from the
+// thread's own body (they operate on "the current thread").
+type Thread struct {
+	id    ThreadID
+	name  string
+	prio  int
+	state State
+	rt    *Runtime
+
+	node list.Node // link into ready ring or blocked queue
+
+	gate    chan struct{} // resume signal; buffered(1)
+	body    func(*Thread)
+	spawned bool
+	killed  bool
+
+	blockReason string
+	// dispatches counts how many times the scheduler gave this thread the
+	// CPU; the fairness property test uses it.
+	dispatches int
+	// joiners are threads parked in Join on this thread; woken at exit.
+	joiners []*Thread
+}
+
+// ID returns the thread's identifier.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Priority returns the thread's scheduling priority (0 = highest).
+func (t *Thread) Priority() int { return t.prio }
+
+// State returns the thread's current scheduler state.
+func (t *Thread) State() State { return t.state }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Dispatches returns how many times this thread has been given the CPU.
+func (t *Thread) Dispatches() int { return t.dispatches }
+
+// BlockReason returns the reason string of the current/last Park.
+func (t *Thread) BlockReason() string { return t.blockReason }
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Name labels the runtime in panics and dumps (e.g. "node3").
+	Name string
+	// Clock supplies time; defaults to a RealClock.
+	Clock vclock.Clock
+	// IdleTimeout bounds how long Run waits for an external event while
+	// threads are blocked. Zero means wait forever. Tests and examples set
+	// it so a lost wakeup fails loudly instead of hanging.
+	IdleTimeout time.Duration
+	// OnSwitch, if set, is invoked at every context switch with the thread
+	// being switched in. The trace package uses it to build timelines.
+	OnSwitch func(t *Thread)
+}
+
+// Runtime is the per-process scheduler: the paper's "run-time system" that
+// realizes threads within a conventional process.
+type Runtime struct {
+	name  string
+	clock vclock.Clock
+
+	ready   [NumPriorities]list.List
+	blocked list.List
+
+	threads []*Thread
+	live    int // threads not yet Done
+	cur     *Thread
+
+	parked      chan struct{} // thread -> scheduler handoff
+	external    chan func()
+	idleTimeout time.Duration
+	onSwitch    func(t *Thread)
+
+	switches int
+	running  bool
+
+	// wg tracks thread goroutines so Kill can wait for clean unwinding.
+	wg sync.WaitGroup
+}
+
+// New creates a Runtime.
+func New(cfg Config) *Runtime {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewRealClock()
+	}
+	rt := &Runtime{
+		name:        cfg.Name,
+		clock:       cfg.Clock,
+		parked:      make(chan struct{}, 1),
+		external:    make(chan func(), 1024),
+		idleTimeout: cfg.IdleTimeout,
+		onSwitch:    cfg.OnSwitch,
+	}
+	return rt
+}
+
+// Name returns the runtime's label.
+func (rt *Runtime) Name() string { return rt.name }
+
+// Clock returns the runtime's clock.
+func (rt *Runtime) Clock() vclock.Clock { return rt.clock }
+
+// Now is shorthand for Clock().Now().
+func (rt *Runtime) Now() vclock.Time { return rt.clock.Now() }
+
+// Switches returns the number of context switches performed.
+func (rt *Runtime) Switches() int { return rt.switches }
+
+// Live returns the number of threads that have not finished.
+func (rt *Runtime) Live() int { return rt.live }
+
+// Current returns the currently running thread, or nil when the scheduler
+// itself holds the CPU.
+func (rt *Runtime) Current() *Thread { return rt.cur }
+
+// Threads returns all threads ever created, in creation order.
+func (rt *Runtime) Threads() []*Thread { return rt.threads }
+
+// Thread returns the thread with the given id, or nil.
+func (rt *Runtime) Thread(id ThreadID) *Thread {
+	if int(id) < 0 || int(id) >= len(rt.threads) {
+		return nil
+	}
+	return rt.threads[id]
+}
+
+// Create registers a new thread with the given priority; the paper's
+// NCS_t_create. The body starts executing at the thread's first dispatch.
+// Create may be called before Run/Start or from a running thread.
+func (rt *Runtime) Create(name string, prio int, body func(*Thread)) *Thread {
+	if prio < 0 || prio >= NumPriorities {
+		panic(fmt.Sprintf("mts: priority %d out of range [0,%d)", prio, NumPriorities))
+	}
+	t := &Thread{
+		id:    ThreadID(len(rt.threads)),
+		name:  name,
+		prio:  prio,
+		state: StateRunnable,
+		rt:    rt,
+		gate:  make(chan struct{}, 1),
+		body:  body,
+	}
+	t.node.Value = t
+	rt.threads = append(rt.threads, t)
+	rt.live++
+	rt.ready[prio].PushBack(&t.node)
+	return t
+}
+
+// HasRunnable reports whether any thread is ready to run.
+func (rt *Runtime) HasRunnable() bool {
+	for i := range rt.ready {
+		if !rt.ready[i].Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// nextRunnable removes and returns the next thread by priority + RR order.
+func (rt *Runtime) nextRunnable() *Thread {
+	for i := range rt.ready {
+		if n := rt.ready[i].PopFront(); n != nil {
+			return n.Value.(*Thread)
+		}
+	}
+	return nil
+}
+
+// Dispatch runs the next runnable thread until it parks, yields, or exits.
+// It returns false if no thread was runnable. It must be called from the
+// scheduler domain (the goroutine running Run, or the sim engine).
+func (rt *Runtime) Dispatch() bool {
+	t := rt.nextRunnable()
+	if t == nil {
+		return false
+	}
+	rt.runThread(t)
+	return true
+}
+
+// DispatchThread forces a specific runnable thread to run next, bypassing
+// queue order. The sim engine uses it to return the CPU to a thread that
+// "held" it across a modelled compute burst (non-preemptive semantics).
+// It panics if the thread is not runnable.
+func (rt *Runtime) DispatchThread(t *Thread) {
+	if t.state != StateRunnable {
+		panic(fmt.Sprintf("mts(%s): DispatchThread of %s thread %q", rt.name, t.state, t.name))
+	}
+	t.node.Remove()
+	rt.runThread(t)
+}
+
+func (rt *Runtime) runThread(t *Thread) {
+	t.state = StateRunning
+	t.dispatches++
+	rt.switches++
+	rt.cur = t
+	if rt.onSwitch != nil {
+		rt.onSwitch(t)
+	}
+	if !t.spawned {
+		t.spawned = true
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(killedSignal); ok {
+						// Clean unwind of a killed thread: mark done
+						// and hand the CPU back.
+						t.retire()
+						rt.parked <- struct{}{}
+						return
+					}
+					panic(r)
+				}
+			}()
+			<-t.gate
+			t.body(t)
+			t.retire()
+			rt.parked <- struct{}{}
+		}()
+	}
+	t.gate <- struct{}{}
+	<-rt.parked
+	rt.cur = nil
+}
+
+// retire marks the thread finished and wakes any joiners. It runs in the
+// thread's goroutine while it still conceptually holds the CPU, so touching
+// scheduler state is safe.
+func (t *Thread) retire() {
+	t.state = StateDone
+	t.rt.live--
+	for _, j := range t.joiners {
+		t.rt.Unblock(j, false)
+	}
+	t.joiners = nil
+}
+
+// park suspends the current thread with the given state transition already
+// applied, hands the CPU to the scheduler, and returns when redispatched.
+func (t *Thread) park() {
+	t.rt.parked <- struct{}{}
+	<-t.gate
+	if t.killed {
+		panic(killedSignal{})
+	}
+	t.state = StateRunning
+}
+
+// Yield moves the current thread to the back of its priority ring and
+// switches to the next runnable thread (round-robin step).
+func (t *Thread) Yield() {
+	t.mustBeCurrent("Yield")
+	t.state = StateRunnable
+	t.rt.ready[t.prio].PushBack(&t.node)
+	t.park()
+}
+
+// Park blocks the current thread on the blocked queue with a reason for
+// debugging ("recv msg", "send done", ...). Another thread or an external
+// event must Unblock it. This is the paper's blocking mechanism that
+// "synchronizes a thread with some event".
+func (t *Thread) Park(reason string) {
+	t.mustBeCurrent("Park")
+	t.state = StateBlocked
+	t.blockReason = reason
+	t.rt.blocked.PushBack(&t.node)
+	t.park()
+}
+
+// Unblock moves a blocked thread to its ready ring; the paper's
+// NCS_unblock. front=true inserts at the head of the ring, used when the
+// thread must regain the CPU before its peers (e.g. after a modelled compute
+// burst). Unblocking a non-blocked thread is a no-op and returns false, so
+// racy double wakeups are harmless.
+func (rt *Runtime) Unblock(t *Thread, front bool) bool {
+	if t.state != StateBlocked {
+		return false
+	}
+	t.node.Remove()
+	t.state = StateRunnable
+	t.blockReason = ""
+	if front {
+		rt.ready[t.prio].PushFront(&t.node)
+	} else {
+		rt.ready[t.prio].PushBack(&t.node)
+	}
+	return true
+}
+
+// Post schedules fn to run in the scheduler domain. It is the only Runtime
+// entry point that is safe to call from foreign goroutines (UDP readers,
+// timers): fn executes between dispatches inside Run. In sim mode, the
+// engine never needs Post because events already fire in the engine
+// goroutine.
+func (rt *Runtime) Post(fn func()) {
+	rt.external <- fn
+}
+
+// After runs fn in the scheduler domain once d of real time has elapsed.
+// Only meaningful under a real clock; the sim engine provides virtual-time
+// timers instead.
+func (rt *Runtime) After(d time.Duration, fn func()) {
+	time.AfterFunc(d, func() { rt.Post(fn) })
+}
+
+// Sleep blocks the current thread for d of real time. Sim-mode code should
+// use the engine's virtual Sleep instead.
+func (t *Thread) Sleep(d time.Duration) {
+	t.mustBeCurrent("Sleep")
+	rt := t.rt
+	rt.After(d, func() { rt.Unblock(t, false) })
+	t.Park("sleep")
+}
+
+// Run executes threads until all have finished: the paper's NCS_start. It
+// drains externally Posted wakeups between dispatches and waits for them
+// when no thread is runnable. It panics on deadlock (blocked threads, no
+// runnable work, and no external event within IdleTimeout).
+func (rt *Runtime) Run() {
+	if rt.running {
+		panic("mts: Run called reentrantly")
+	}
+	rt.running = true
+	defer func() { rt.running = false }()
+
+	for rt.live > 0 {
+		// Drain pending external completions first so I/O wakeups take
+		// effect at the earliest switch point.
+		rt.drainExternal()
+		if rt.Dispatch() {
+			continue
+		}
+		// Nothing runnable: wait for the outside world.
+		if rt.idleTimeout > 0 {
+			select {
+			case fn := <-rt.external:
+				fn()
+			case <-time.After(rt.idleTimeout):
+				panic(fmt.Sprintf("mts(%s): deadlock — %d live threads, none runnable after %v\n%s",
+					rt.name, rt.live, rt.idleTimeout, rt.DumpState()))
+			}
+		} else {
+			fn := <-rt.external
+			fn()
+		}
+	}
+}
+
+func (rt *Runtime) drainExternal() {
+	for {
+		select {
+		case fn := <-rt.external:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// Kill terminates all unfinished threads by unwinding their goroutines, then
+// waits for them to exit. It must be called from the scheduler domain with
+// no thread running. It exists so tests and tools can tear down a runtime
+// whose threads are parked forever.
+func (rt *Runtime) Kill() {
+	for _, t := range rt.threads {
+		if t.state == StateDone || !t.spawned {
+			if t.state != StateDone {
+				// Never ran: just retire it.
+				t.node.Remove()
+				t.state = StateDone
+				rt.live--
+			}
+			continue
+		}
+		if t.state == StateRunning {
+			panic("mts: Kill with a thread running")
+		}
+		t.node.Remove()
+		t.killed = true
+		t.gate <- struct{}{}
+		<-rt.parked
+	}
+	rt.wg.Wait()
+}
+
+// DumpState renders scheduler state for deadlock diagnostics.
+func (rt *Runtime) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime %q: %d threads, %d live, %d switches\n", rt.name, len(rt.threads), rt.live, rt.switches)
+	ts := append([]*Thread(nil), rt.threads...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	for _, t := range ts {
+		fmt.Fprintf(&b, "  t%-3d %-20s prio=%-2d %-8s", t.id, t.name, t.prio, t.state)
+		if t.state == StateBlocked {
+			fmt.Fprintf(&b, " on %q", t.blockReason)
+		}
+		fmt.Fprintf(&b, " dispatches=%d\n", t.dispatches)
+	}
+	return b.String()
+}
+
+func (t *Thread) mustBeCurrent(op string) {
+	if t.rt.cur != t {
+		panic(fmt.Sprintf("mts(%s): %s called from outside thread %q (current=%v)",
+			t.rt.name, op, t.name, t.rt.cur))
+	}
+}

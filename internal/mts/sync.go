@@ -1,0 +1,320 @@
+package mts
+
+import "fmt"
+
+// This file implements the paper's synchronization class of primitives
+// (§3.1: "barrier, wait, signal") for threads inside one process. The
+// cross-process barrier is layered in internal/core on top of messaging.
+//
+// All primitives run entirely in the scheduler domain — a primitive's method
+// is only ever called by the current thread — so no Go-level locking is
+// needed; waiters are parked on the runtime's blocked queue and remembered
+// by pointer.
+
+// Mutex is a FIFO mutual-exclusion lock between threads of one runtime.
+type Mutex struct {
+	rt      *Runtime
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(rt *Runtime) *Mutex { return &Mutex{rt: rt} }
+
+// Lock acquires the mutex, parking the calling thread if it is held.
+func (m *Mutex) Lock(t *Thread) {
+	t.mustBeCurrent("Mutex.Lock")
+	if m.owner == nil {
+		m.owner = t
+		return
+	}
+	if m.owner == t {
+		panic("mts: recursive Mutex.Lock")
+	}
+	m.waiters = append(m.waiters, t)
+	t.Park("mutex")
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting thread.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		panic("mts: Mutex.Unlock by non-owner")
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	m.rt.Unblock(next, false)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Cond is a condition variable associated with a Mutex.
+type Cond struct {
+	mu      *Mutex
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable bound to mu.
+func NewCond(mu *Mutex) *Cond { return &Cond{mu: mu} }
+
+// Wait atomically releases the mutex and parks the thread until Signal or
+// Broadcast, then reacquires the mutex before returning.
+func (c *Cond) Wait(t *Thread) {
+	if c.mu.owner != t {
+		panic("mts: Cond.Wait without holding mutex")
+	}
+	c.waiters = append(c.waiters, t)
+	c.mu.Unlock(t)
+	t.Park("cond")
+	c.mu.Lock(t)
+}
+
+// Signal wakes one waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.mu.rt.Unblock(w, false)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.mu.rt.Unblock(w, false)
+	}
+	c.waiters = nil
+}
+
+// Semaphore is a counting semaphore; the paper's wait/signal pair.
+type Semaphore struct {
+	rt      *Runtime
+	count   int
+	waiters []*Thread
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(rt *Runtime, initial int) *Semaphore {
+	if initial < 0 {
+		panic("mts: negative semaphore count")
+	}
+	return &Semaphore{rt: rt, count: initial}
+}
+
+// Wait (P) decrements the count, parking while it is zero.
+func (s *Semaphore) Wait(t *Thread) {
+	t.mustBeCurrent("Semaphore.Wait")
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	s.waiters = append(s.waiters, t)
+	t.Park("sem wait")
+}
+
+// TryWait decrements without blocking; it reports whether it succeeded.
+func (s *Semaphore) TryWait() bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Signal (V) increments the count or hands the unit to the oldest waiter.
+// It may be called from the scheduler domain outside any thread (e.g. an
+// event handler), so it takes no thread argument.
+func (s *Semaphore) Signal() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.rt.Unblock(w, false)
+		return
+	}
+	s.count++
+}
+
+// Count returns the available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Barrier blocks threads until n of them have arrived, then releases the
+// whole generation at once. It is reusable across generations.
+type Barrier struct {
+	rt      *Runtime
+	n       int
+	arrived []*Thread
+	gen     int
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(rt *Runtime, n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("mts: barrier size %d", n))
+	}
+	return &Barrier{rt: rt, n: n}
+}
+
+// Await parks the thread until the generation completes. The last arrival
+// does not park; it wakes the rest and returns immediately.
+func (b *Barrier) Await(t *Thread) {
+	t.mustBeCurrent("Barrier.Await")
+	if len(b.arrived)+1 == b.n {
+		for _, w := range b.arrived {
+			b.rt.Unblock(w, false)
+		}
+		b.arrived = b.arrived[:0]
+		b.gen++
+		return
+	}
+	b.arrived = append(b.arrived, t)
+	gen := b.gen
+	t.Park("barrier")
+	if b.gen == gen {
+		panic("mts: barrier woke waiter without generation advance")
+	}
+}
+
+// Generation returns how many times the barrier has completed.
+func (b *Barrier) Generation() int { return b.gen }
+
+// Join parks the calling thread until target finishes. Multiple joiners are
+// allowed; joining a finished thread returns immediately.
+func Join(t *Thread, target *Thread) {
+	t.mustBeCurrent("Join")
+	if target.state == StateDone {
+		return
+	}
+	if target == t {
+		panic("mts: thread joining itself")
+	}
+	target.joiners = append(target.joiners, t)
+	t.Park("join " + target.name)
+}
+
+// Chan is a bounded FIFO channel between threads of one runtime, in the
+// spirit of the shared-memory mailboxes QuickThreads applications used. A
+// capacity of 0 gives rendezvous semantics.
+type Chan[T any] struct {
+	rt       *Runtime
+	cap      int
+	buf      []T
+	senders  []*Thread // parked senders (cap reached / awaiting rendezvous)
+	sendVals []T
+	recvers  []*Thread
+	recvSlot []*T
+}
+
+// NewChan returns a channel with the given capacity.
+func NewChan[T any](rt *Runtime, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("mts: negative channel capacity")
+	}
+	return &Chan[T]{rt: rt, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, parking while the buffer is full (or, for capacity 0,
+// until a receiver arrives).
+func (c *Chan[T]) Send(t *Thread, v T) {
+	t.mustBeCurrent("Chan.Send")
+	// Direct handoff to a parked receiver.
+	if len(c.recvers) > 0 {
+		r := c.recvers[0]
+		c.recvers = c.recvers[1:]
+		slot := c.recvSlot[0]
+		c.recvSlot = c.recvSlot[1:]
+		*slot = v
+		c.rt.Unblock(r, false)
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	c.senders = append(c.senders, t)
+	c.sendVals = append(c.sendVals, v)
+	t.Park("chan send")
+}
+
+// TrySend delivers v without blocking; it reports whether it succeeded.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvers) > 0 {
+		r := c.recvers[0]
+		c.recvers = c.recvers[1:]
+		slot := c.recvSlot[0]
+		c.recvSlot = c.recvSlot[1:]
+		*slot = v
+		c.rt.Unblock(r, false)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv returns the next value, parking while the channel is empty.
+func (c *Chan[T]) Recv(t *Thread) T {
+	t.mustBeCurrent("Chan.Recv")
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A parked sender can now refill the freed slot.
+		if len(c.senders) > 0 {
+			s := c.senders[0]
+			c.senders = c.senders[1:]
+			c.buf = append(c.buf, c.sendVals[0])
+			c.sendVals = c.sendVals[1:]
+			c.rt.Unblock(s, false)
+		}
+		return v
+	}
+	if len(c.senders) > 0 {
+		// Rendezvous: take directly from the oldest parked sender.
+		s := c.senders[0]
+		c.senders = c.senders[1:]
+		v := c.sendVals[0]
+		c.sendVals = c.sendVals[1:]
+		c.rt.Unblock(s, false)
+		return v
+	}
+	var slot T
+	c.recvers = append(c.recvers, t)
+	c.recvSlot = append(c.recvSlot, &slot)
+	t.Park("chan recv")
+	return slot
+}
+
+// TryRecv returns the next value without blocking.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.senders) > 0 {
+			s := c.senders[0]
+			c.senders = c.senders[1:]
+			c.buf = append(c.buf, c.sendVals[0])
+			c.sendVals = c.sendVals[1:]
+			c.rt.Unblock(s, false)
+		}
+		return v, true
+	}
+	if len(c.senders) > 0 {
+		s := c.senders[0]
+		c.senders = c.senders[1:]
+		v = c.sendVals[0]
+		c.sendVals = c.sendVals[1:]
+		c.rt.Unblock(s, false)
+		return v, true
+	}
+	return v, false
+}

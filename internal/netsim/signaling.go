@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/mts"
+	"repro/internal/sim"
+)
+
+// Switched-VC support: the switch terminates the signaling channel (VPI 0,
+// VCI 5), allocates VC pairs, installs forwarding entries, and relays call
+// control between hosts. Host-side, a Signaler offers the blocking
+// PlaceCall the "ATM API" exposes to NCS.
+
+// svcState is the switch-side half of signaling.
+type svcState struct {
+	nextVCI  uint16
+	calls    map[uint32]*svcCall
+	nextRef  uint32
+	downlink func(host int) *Link
+}
+
+type svcCall struct {
+	msg atm.SigMessage
+}
+
+// EnableSignaling turns on SVC handling at the switch. downlink maps a
+// host index to the switch's output link toward it. Allocated VCIs start
+// at base.
+func (s *Switch) EnableSignaling(base uint16, downlink func(host int) *Link) {
+	s.svc = &svcState{
+		nextVCI:  base,
+		calls:    make(map[uint32]*svcCall),
+		downlink: downlink,
+	}
+}
+
+// handleSignal processes a signaling cell at the switch.
+func (s *Switch) handleSignal(u Unit) {
+	cell, ok := u.Payload.(atm.Cell)
+	if !ok {
+		s.dropped++
+		return
+	}
+	msg, err := atm.UnmarshalSig(sigPayload(cell))
+	if err != nil {
+		s.dropped++
+		return
+	}
+	switch msg.Type {
+	case atm.SigSetup:
+		// Allocate the VC pair and install routes in both directions.
+		fwd := atm.VC{VPI: 0, VCI: s.svc.nextVCI}
+		bwd := atm.VC{VPI: 0, VCI: s.svc.nextVCI + 1}
+		s.svc.nextVCI += 2
+		s.Route(fwd, s.svc.downlink(int(msg.Called)))
+		s.Route(bwd, s.svc.downlink(int(msg.Caller)))
+		msg.Forward, msg.Backward = fwd, bwd
+		s.svc.calls[msg.CallRef] = &svcCall{msg: msg}
+		s.sendSignal(msg, int(msg.Called))
+	case atm.SigConnect, atm.SigReject:
+		// Relay the called party's answer back to the caller.
+		if _, ok := s.svc.calls[msg.CallRef]; !ok {
+			s.dropped++
+			return
+		}
+		if msg.Type == atm.SigReject {
+			delete(s.svc.calls, msg.CallRef)
+		}
+		s.sendSignal(msg, int(msg.Caller))
+	case atm.SigRelease:
+		if call, ok := s.svc.calls[msg.CallRef]; ok {
+			delete(s.table, call.msg.Forward)
+			delete(s.table, call.msg.Backward)
+			delete(s.svc.calls, msg.CallRef)
+		}
+		msg.Type = atm.SigReleaseComplete
+		s.sendSignal(msg, int(msg.Caller))
+	}
+}
+
+// sendSignal emits a one-cell signaling message toward a host.
+func (s *Switch) sendSignal(msg atm.SigMessage, host int) {
+	s.svc.downlink(host).Send(signalUnit(msg, host))
+}
+
+// signalUnit wraps a signaling message into a single-cell unit.
+func signalUnit(msg atm.SigMessage, dstHost int) Unit {
+	var cell atm.Cell
+	cell.Header = atm.Header{VPI: atm.SignalVC.VPI, VCI: atm.SignalVC.VCI, PT: 0x1}
+	payload := msg.Marshal()
+	cell.Payload[0] = byte(len(payload))
+	copy(cell.Payload[1:], payload)
+	return Unit{WireBytes: atm.CellSize, DstHost: dstHost, VC: atm.SignalVC, Payload: cell}
+}
+
+// sigPayload extracts the signaling bytes from a one-cell message.
+func sigPayload(cell atm.Cell) []byte {
+	n := int(cell.Payload[0])
+	if n <= 0 || n > atm.PayloadSize-1 {
+		return nil
+	}
+	return cell.Payload[1 : 1+n]
+}
+
+// Signaler is a host's call-control entity. It owns the host's signaling
+// channel and offers blocking call placement to NCS-level code. Incoming
+// calls are auto-accepted (the listener model NCS needs).
+type Signaler struct {
+	node *sim.Node
+	net  *Network
+	host int
+
+	nextRef uint32
+	waiting map[uint32]*placedCall
+	// accepted records VCs handed to us by incoming SETUPs: send on
+	// Backward, receive on Forward.
+	accepted []atm.SigMessage
+	onAccept func(atm.SigMessage)
+}
+
+type placedCall struct {
+	t      *mts.Thread
+	answer *atm.SigMessage
+}
+
+// NewSignaler attaches call control for a host. Signaling cells arriving at
+// the host must be routed here via HandleUnit (see SimATM integration or a
+// direct Port split).
+func NewSignaler(node *sim.Node, net *Network, host int) *Signaler {
+	return &Signaler{
+		node:    node,
+		net:     net,
+		host:    host,
+		nextRef: uint32(host+1) << 16,
+		waiting: make(map[uint32]*placedCall),
+	}
+}
+
+// OnAccept registers a callback for auto-accepted incoming calls.
+func (sg *Signaler) OnAccept(fn func(atm.SigMessage)) { sg.onAccept = fn }
+
+// Accepted returns the calls this host has accepted.
+func (sg *Signaler) Accepted() []atm.SigMessage { return sg.accepted }
+
+// PlaceCall parks the calling thread until the network answers with the
+// VC pair for (this host -> called). It returns send (Forward) and receive
+// (Backward) channels.
+func (sg *Signaler) PlaceCall(t *mts.Thread, called int) (send, recv atm.VC, err error) {
+	sg.nextRef++
+	ref := sg.nextRef
+	msg := atm.SigMessage{
+		Type:    atm.SigSetup,
+		CallRef: ref,
+		Caller:  int32(sg.host),
+		Called:  int32(called),
+	}
+	pc := &placedCall{t: t}
+	sg.waiting[ref] = pc
+	sg.net.PathFor(sg.host).Send(signalUnit(msg, -1)) // DstHost unused toward switch
+	t.Park("atm call setup")
+	delete(sg.waiting, ref)
+	ans := pc.answer
+	if ans == nil || ans.Type != atm.SigConnect {
+		return atm.VC{}, atm.VC{}, fmt.Errorf("netsim: call to host %d rejected", called)
+	}
+	return ans.Forward, ans.Backward, nil
+}
+
+// HandleUnit processes a signaling unit delivered to this host. It reports
+// whether the unit was consumed (true) or is data for the endpoint (false).
+func (sg *Signaler) HandleUnit(u Unit) bool {
+	if u.VC != atm.SignalVC {
+		return false
+	}
+	cell, ok := u.Payload.(atm.Cell)
+	if !ok {
+		return true
+	}
+	msg, err := atm.UnmarshalSig(sigPayload(cell))
+	if err != nil {
+		return true
+	}
+	switch msg.Type {
+	case atm.SigSetup:
+		// Incoming call: auto-accept. We receive on Forward, send on
+		// Backward.
+		sg.accepted = append(sg.accepted, msg)
+		if sg.onAccept != nil {
+			sg.onAccept(msg)
+		}
+		answer := msg
+		answer.Type = atm.SigConnect
+		sg.net.PathFor(sg.host).Send(signalUnit(answer, -1))
+	case atm.SigConnect, atm.SigReject, atm.SigReleaseComplete:
+		if pc, ok := sg.waiting[msg.CallRef]; ok {
+			m := msg
+			pc.answer = &m
+			sg.node.RT().Unblock(pc.t, false)
+		}
+	}
+	return true
+}

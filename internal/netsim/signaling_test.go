@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/mts"
+	"repro/internal/sim"
+)
+
+func TestSigMessageCodec(t *testing.T) {
+	m := atm.SigMessage{
+		Type: atm.SigSetup, CallRef: 0x12345678,
+		Caller: 3, Called: 7,
+		Forward: atm.VC{VPI: 1, VCI: 300}, Backward: atm.VC{VPI: 0, VCI: 301},
+	}
+	got, err := atm.UnmarshalSig(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("roundtrip: %+v != %+v", got, m)
+	}
+}
+
+func TestSigCodecRejectsGarbage(t *testing.T) {
+	if _, err := atm.UnmarshalSig([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message accepted")
+	}
+	m := atm.SigMessage{Type: atm.SigSetup}.Marshal()
+	m[0] = 99
+	if _, err := atm.UnmarshalSig(m); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+// buildSVCLAN wires a 3-host ATM LAN with signaling enabled and one
+// Signaler per host attached as a pre-stage on the host port.
+func buildSVCLAN(t *testing.T) (*sim.Engine, *Network, []*sim.Node, []*Signaler, [][]Unit) {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.SetMaxTime(time.Minute)
+	net := NewATMLAN(eng, 3, ATMLANConfig{HostLinkBps: 100e6})
+	net.EnableSVC(1000)
+	nodes := make([]*sim.Node, 3)
+	sgs := make([]*Signaler, 3)
+	data := make([][]Unit, 3)
+	for h := 0; h < 3; h++ {
+		h := h
+		nodes[h] = eng.NewNode("host")
+		sgs[h] = NewSignaler(nodes[h], net, h)
+		net.AttachHost(h, PortFunc(func(u Unit) {
+			if sgs[h].HandleUnit(u) {
+				return
+			}
+			data[h] = append(data[h], u)
+		}))
+	}
+	return eng, net, nodes, sgs, data
+}
+
+func TestPlaceCallEstablishesVC(t *testing.T) {
+	eng, net, nodes, sgs, data := buildSVCLAN(t)
+	var send, recv atm.VC
+	nodes[0].RT().Create("caller", mts.PrioDefault, func(th *mts.Thread) {
+		var err error
+		send, recv, err = sgs[0].PlaceCall(th, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Use the fresh SVC immediately: one cell toward host 1.
+		cell := atm.Cell{Header: atm.Header{VPI: send.VPI, VCI: send.VCI}}
+		net.PathFor(0).Send(Unit{WireBytes: atm.CellSize, DstHost: 1, VC: send, Payload: cell})
+	})
+	eng.Run()
+	if send == (atm.VC{}) || recv == (atm.VC{}) {
+		t.Fatal("no VCs assigned")
+	}
+	if send == recv {
+		t.Fatal("forward and backward VCs collide")
+	}
+	if len(data[1]) != 1 || data[1][0].VC != send {
+		t.Fatalf("data cell not delivered on the SVC: %+v", data[1])
+	}
+	if len(sgs[1].Accepted()) != 1 {
+		t.Fatalf("callee accepted %d calls", len(sgs[1].Accepted()))
+	}
+}
+
+func TestConcurrentCallsGetDistinctVCs(t *testing.T) {
+	eng, _, nodes, sgs, _ := buildSVCLAN(t)
+	vcs := map[atm.VC]bool{}
+	for caller := 0; caller < 2; caller++ {
+		caller := caller
+		nodes[caller].RT().Create("caller", mts.PrioDefault, func(th *mts.Thread) {
+			s, r, err := sgs[caller].PlaceCall(th, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if vcs[s] || vcs[r] {
+				t.Errorf("VC reuse: %v %v", s, r)
+			}
+			vcs[s], vcs[r] = true, true
+		})
+	}
+	eng.Run()
+	if len(vcs) != 4 {
+		t.Fatalf("expected 4 distinct VCs, got %d", len(vcs))
+	}
+}
+
+func TestOnAcceptCallback(t *testing.T) {
+	eng, _, nodes, sgs, _ := buildSVCLAN(t)
+	var acceptedFrom int32 = -1
+	sgs[2].OnAccept(func(m atm.SigMessage) { acceptedFrom = m.Caller })
+	nodes[1].RT().Create("caller", mts.PrioDefault, func(th *mts.Thread) {
+		sgs[1].PlaceCall(th, 2)
+	})
+	eng.Run()
+	if acceptedFrom != 1 {
+		t.Fatalf("accept callback saw caller %d, want 1", acceptedFrom)
+	}
+}
+
+func TestEnableSVCRejectsEthernet(t *testing.T) {
+	eng := sim.NewEngine()
+	net := NewEthernetLAN(eng, 2, EthernetConfig{BitsPerSecond: 1e7})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableSVC on Ethernet accepted")
+		}
+	}()
+	net.EnableSVC(1000)
+}

@@ -1,0 +1,292 @@
+// Package nic models the FORE SBA-200 SBus ATM adapter (paper §2): a
+// dedicated i960 does AAL5 segmentation/reassembly and DMA between host
+// buffers and the wire, and the host talks to it through multiple
+// input/output buffers so data transfer overlaps with the host's copying —
+// the "parallel data transfer" design of Figure 2.
+//
+// SimATM is a transport.Endpoint over this model: the NCS High Speed Mode
+// path (Approach 2, §4.2). Host-side costs use the trap + mapped-buffer
+// datapath (3 bus accesses/word, Figure 3b) instead of the socket/TCP path.
+package nic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/mts"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the adapter model and its host interface.
+type Config struct {
+	// NumBuffers is the number of output buffers between NCS and the NIC
+	// (Figure 2). 1 disables pipelining; the paper's design uses several.
+	NumBuffers int
+	// BufferSize is the capacity of each I/O buffer in bytes.
+	BufferSize int
+	// TrapCost is the fixed cost of the read/write trap into the kernel
+	// (the paper: "the use of traps has been shown to be more efficient
+	// than using UNIX read/write system calls").
+	TrapCost time.Duration
+	// HostCopyPerByte is the host cost to move one byte between the
+	// application buffer and the mapped kernel buffer (the 3-access
+	// datapath of Figure 3b).
+	HostCopyPerByte time.Duration
+	// RxDropEvery, when positive, drops every Nth received AAL5 frame at
+	// the adapter (fault injection: an overrun rx ring). Unlike the TCP
+	// tier, the raw ATM path has no transport recovery — this is exactly
+	// the case the paper's error-control thread exists for, and tests run
+	// go-back-N on top to verify recovery.
+	RxDropEvery int
+}
+
+// Validate panics on nonsensical configurations.
+func (c Config) Validate() {
+	if c.NumBuffers < 1 {
+		panic("nic: need at least one I/O buffer")
+	}
+	if c.BufferSize < 64 {
+		panic("nic: buffer size too small")
+	}
+}
+
+// chunkHeaderSize prefixes each AAL5 frame: message sequence (4 bytes),
+// chunk index (2), flags (1: last), reserved (1).
+const chunkHeaderSize = 8
+
+// SimATM is one host's adapter + HSM endpoint.
+type SimATM struct {
+	eng  *sim.Engine
+	node *sim.Node
+	net  *netsim.Network
+	host int
+	cfg  Config
+
+	outBufs *mts.Semaphore // free output buffers
+	seq     uint32
+	handler transport.Handler
+	// preFilter, if set, sees every arriving unit first; returning true
+	// consumes it. The host's signaling entity (netsim.Signaler) hooks in
+	// here to terminate call-control cells before data reassembly.
+	preFilter func(netsim.Unit) bool
+
+	reasm map[atm.VC]*atm.Reassembler
+	// rxParts accumulates message chunks per VC until the last chunk;
+	// rxSeq tracks which message each partial belongs to so a dropped
+	// frame abandons the whole message cleanly instead of corrupting the
+	// next one.
+	rxParts map[atm.VC][]byte
+	rxSeq   map[atm.VC]uint32
+	rxNext  map[atm.VC]uint16
+
+	cellsSent int64
+	msgsSent  int64
+	rxFrames  int64
+	rxDropped int64
+}
+
+// NewSimATM attaches an adapter to the given workstation and network host
+// slot. The host index doubles as the transport.ProcID.
+func NewSimATM(node *sim.Node, net *netsim.Network, host int, cfg Config) *SimATM {
+	cfg.Validate()
+	a := &SimATM{
+		eng:     node.Engine(),
+		node:    node,
+		net:     net,
+		host:    host,
+		cfg:     cfg,
+		outBufs: mts.NewSemaphore(node.RT(), cfg.NumBuffers),
+		reasm:   make(map[atm.VC]*atm.Reassembler),
+		rxParts: make(map[atm.VC][]byte),
+		rxSeq:   make(map[atm.VC]uint32),
+		rxNext:  make(map[atm.VC]uint16),
+	}
+	net.AttachHost(host, netsim.PortFunc(a.deliverCell))
+	return a
+}
+
+// Proc implements transport.Endpoint.
+func (a *SimATM) Proc() transport.ProcID { return transport.ProcID(a.host) }
+
+// SetHandler implements transport.Endpoint.
+func (a *SimATM) SetHandler(h transport.Handler) { a.handler = h }
+
+// Node returns the endpoint's workstation.
+func (a *SimATM) Node() *sim.Node { return a.node }
+
+// CellsSent returns the number of cells transmitted.
+func (a *SimATM) CellsSent() int64 { return a.cellsSent }
+
+// RecvCost returns the host cost to move an n-byte message from the mapped
+// kernel buffer to the application: one trap plus the 3-access copy.
+func (a *SimATM) RecvCost(n int) time.Duration {
+	return a.cfg.TrapCost + time.Duration(n)*a.cfg.HostCopyPerByte
+}
+
+// SendCost returns the host CPU component of sending n bytes (what Send
+// charges in total across its chunk copies).
+func (a *SimATM) SendCost(n int) time.Duration {
+	return a.cfg.TrapCost + time.Duration(n)*a.cfg.HostCopyPerByte
+}
+
+// Send implements transport.Endpoint with the Figure 2 pipeline: for each
+// chunk the thread acquires a free output buffer, copies into it (CPU
+// burst), and signals the NIC, which segments the chunk to cells and drains
+// it onto the uplink concurrently with the next chunk's copy. The call
+// returns once the final chunk is handed to the NIC — the wire transfer
+// itself overlaps whatever the caller does next.
+func (a *SimATM) Send(t *mts.Thread, m *transport.Message) {
+	if m.From != a.Proc() {
+		panic(fmt.Sprintf("nic: host %d sending as %d", a.host, m.From))
+	}
+	a.seq++
+	m.Seq = a.seq
+	wire := m.Marshal()
+	a.msgsSent++
+
+	a.node.Compute(t, a.cfg.TrapCost)
+
+	vc := netsim.VCFor(a.host, int(m.To))
+	path := a.net.PathFor(a.host)
+	chunkPayload := a.cfg.BufferSize - chunkHeaderSize
+	total := len(wire)
+	nChunks := (total + chunkPayload - 1) / chunkPayload
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunkPayload
+		hi := lo + chunkPayload
+		if hi > total {
+			hi = total
+		}
+		chunk := make([]byte, chunkHeaderSize+hi-lo)
+		binary.BigEndian.PutUint32(chunk[0:], m.Seq)
+		binary.BigEndian.PutUint16(chunk[4:], uint16(i))
+		if i == nChunks-1 {
+			chunk[6] = 1
+		}
+		copy(chunk[chunkHeaderSize:], wire[lo:hi])
+
+		// Acquire a free output buffer; with k >= 2 this overlaps the
+		// NIC draining earlier buffers.
+		a.outBufs.Wait(t)
+		// Host copy into the mapped kernel buffer (holds the CPU).
+		a.node.Compute(t, time.Duration(len(chunk))*a.cfg.HostCopyPerByte)
+		// The NIC takes over: segment and clock cells onto the uplink.
+		cells, err := atm.Segment(vc, chunk)
+		if err != nil {
+			panic("nic: segment: " + err.Error())
+		}
+		var lastTx = a.eng.Now()
+		for ci := range cells {
+			cell := cells[ci]
+			lastTx = path.Send(netsim.Unit{
+				WireBytes: atm.CellSize,
+				DstHost:   int(m.To),
+				VC:        vc,
+				Payload:   cell,
+			})
+			a.cellsSent++
+		}
+		// The buffer frees when its last cell has left the adapter.
+		if lastTx > a.eng.Now() {
+			bufs := a.outBufs
+			a.eng.ScheduleAt(lastTx, func() { bufs.Signal() })
+		} else {
+			a.outBufs.Signal()
+		}
+	}
+}
+
+// SetPreFilter installs a unit filter that runs before data reassembly.
+func (a *SimATM) SetPreFilter(f func(netsim.Unit) bool) { a.preFilter = f }
+
+// deliverCell runs per arriving cell: the i960 reassembles AAL5 frames per
+// VC; completed frames are appended to the message under construction, and
+// a finished message goes up to the handler.
+func (a *SimATM) deliverCell(u netsim.Unit) {
+	if a.preFilter != nil && a.preFilter(u) {
+		return
+	}
+	cell, ok := u.Payload.(atm.Cell)
+	if !ok {
+		panic("nic: foreign unit delivered to SimATM")
+	}
+	vc := cell.Header.VC()
+	r := a.reasm[vc]
+	if r == nil {
+		r = atm.NewReassembler(vc)
+		a.reasm[vc] = r
+	}
+	chunk, done, err := r.Push(cell)
+	if err != nil {
+		panic("nic: reassembly: " + err.Error())
+	}
+	if !done {
+		return
+	}
+	a.rxFrames++
+	if a.cfg.RxDropEvery > 0 && a.rxFrames%int64(a.cfg.RxDropEvery) == 0 {
+		// Fault injection: the rx ring overran; this frame is gone.
+		a.rxDropped++
+		return
+	}
+	if len(chunk) < chunkHeaderSize {
+		panic("nic: chunk shorter than header")
+	}
+	seq := binary.BigEndian.Uint32(chunk[0:])
+	idx := binary.BigEndian.Uint16(chunk[4:])
+	last := chunk[6] == 1
+	if cur, ok := a.rxSeq[vc]; ok && cur != seq {
+		// A frame of the previous message was lost: abandon the partial
+		// so the new message assembles cleanly.
+		a.resetRx(vc)
+		a.rxDropped++
+	}
+	if _, ok := a.rxSeq[vc]; !ok {
+		if idx != 0 {
+			// Mid-message start: the head frame was dropped; skip the rest.
+			return
+		}
+		a.rxSeq[vc] = seq
+	}
+	if idx != a.rxNext[vc] {
+		// Interior frame lost: the message cannot be completed.
+		a.resetRx(vc)
+		a.rxDropped++
+		return
+	}
+	a.rxNext[vc] = idx + 1
+	a.rxParts[vc] = append(a.rxParts[vc], chunk[chunkHeaderSize:]...)
+	if !last {
+		return
+	}
+	wire := a.rxParts[vc]
+	a.resetRx(vc)
+	m, err := transport.Unmarshal(wire)
+	if err != nil {
+		// An interior frame was lost and the tail still arrived: the
+		// message is unrecoverable at this layer.
+		a.rxDropped++
+		return
+	}
+	if a.handler == nil {
+		panic(fmt.Sprintf("nic: host %d has no handler", a.host))
+	}
+	a.handler(m)
+}
+
+func (a *SimATM) resetRx(vc atm.VC) {
+	delete(a.rxParts, vc)
+	delete(a.rxSeq, vc)
+	delete(a.rxNext, vc)
+}
+
+// RxDropped reports frames and messages discarded by fault injection or
+// loss-induced reassembly failure.
+func (a *SimATM) RxDropped() int64 { return a.rxDropped }

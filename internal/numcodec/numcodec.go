@@ -1,0 +1,77 @@
+// Package numcodec serializes numeric slices for message payloads. The
+// paper's applications ship matrices (float64), signal blocks (complex128),
+// and pixel planes (uint8) between processes; these helpers keep the
+// encoding explicit and allocation-predictable.
+package numcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float64sToBytes encodes xs little-endian.
+func Float64sToBytes(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a buffer produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("numcodec: %d bytes is not a float64 array", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Complex128sToBytes encodes xs as interleaved re,im float64 pairs.
+func Complex128sToBytes(xs []complex128) []byte {
+	out := make([]byte, 16*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[16*i:], math.Float64bits(real(x)))
+		binary.LittleEndian.PutUint64(out[16*i+8:], math.Float64bits(imag(x)))
+	}
+	return out
+}
+
+// BytesToComplex128s decodes a buffer produced by Complex128sToBytes.
+func BytesToComplex128s(b []byte) ([]complex128, error) {
+	if len(b)%16 != 0 {
+		return nil, fmt.Errorf("numcodec: %d bytes is not a complex128 array", len(b))
+	}
+	out := make([]complex128, len(b)/16)
+	for i := range out {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:]))
+		out[i] = complex(re, im)
+	}
+	return out, nil
+}
+
+// Uint16sToBytes encodes xs little-endian.
+func Uint16sToBytes(xs []uint16) []byte {
+	out := make([]byte, 2*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint16(out[2*i:], x)
+	}
+	return out
+}
+
+// BytesToUint16s decodes a buffer produced by Uint16sToBytes.
+func BytesToUint16s(b []byte) ([]uint16, error) {
+	if len(b)%2 != 0 {
+		return nil, fmt.Errorf("numcodec: %d bytes is not a uint16 array", len(b))
+	}
+	out := make([]uint16, len(b)/2)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package numcodec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64Roundtrip(t *testing.T) {
+	in := []float64{0, 1, -1, 3.14159, 1e300, -1e-300}
+	out, err := BytesToFloat64s(Float64sToBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestComplex128Roundtrip(t *testing.T) {
+	in := []complex128{0, 1i, complex(2.5, -3.5)}
+	out, err := BytesToComplex128s(Complex128sToBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestUint16Roundtrip(t *testing.T) {
+	in := []uint16{0, 1, 65535, 256}
+	out, err := BytesToUint16s(Uint16sToBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBadLengths(t *testing.T) {
+	if _, err := BytesToFloat64s(make([]byte, 7)); err == nil {
+		t.Fatal("7 bytes accepted as float64s")
+	}
+	if _, err := BytesToComplex128s(make([]byte, 15)); err == nil {
+		t.Fatal("15 bytes accepted as complex128s")
+	}
+	if _, err := BytesToUint16s(make([]byte, 3)); err == nil {
+		t.Fatal("3 bytes accepted as uint16s")
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if out, err := BytesToFloat64s(Float64sToBytes(nil)); err != nil || len(out) != 0 {
+		t.Fatal("empty float64 roundtrip failed")
+	}
+}
+
+func TestQuickFloat64(t *testing.T) {
+	f := func(in []float64) bool {
+		out, err := BytesToFloat64s(Float64sToBytes(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			// NaN compares unequal; compare bit patterns via re-encode.
+			if out[i] != in[i] && !(in[i] != in[i] && out[i] != out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

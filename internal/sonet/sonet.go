@@ -1,0 +1,46 @@
+// Package sonet collects the line rates and payload efficiencies of the
+// physical layers in the NYNET testbed (paper §2 and Figure 1): SONET OC-3
+// and OC-48 trunks, the DS-3 upstate-downstate bottleneck, the 140 Mbps
+// TAXI interface between workstation and ATM switch, and 10 Mbps Ethernet
+// for the comparison cluster.
+package sonet
+
+// Line rates in bits per second.
+const (
+	// OC3Rate is the SONET STS-3c line rate (each NYNET site has two OC-3
+	// links).
+	OC3Rate = 155_520_000
+	// OC48Rate is the SONET STS-48 line rate of the wide-area portion.
+	OC48Rate = 2_488_320_000
+	// DS3Rate is the upstate-to-downstate bottleneck link.
+	DS3Rate = 44_736_000
+	// TAXIRate is the FORE SBA-200's 140 Mbps TAXI host interface.
+	TAXIRate = 140_000_000
+	// EthernetRate is classic shared 10BASE Ethernet.
+	EthernetRate = 10_000_000
+)
+
+// PayloadFraction is the usable fraction of a line rate after framing
+// overhead. SONET section/line/path overhead leaves 149.76 Mbps of the
+// 155.52 Mbps STS-3c for ATM cells; TAXI uses 4B/5B coding whose overhead
+// is already excluded from its nominal rate.
+const (
+	SONETPayloadFraction = 149.76 / 155.52
+	TAXIPayloadFraction  = 1.0
+	// EthernetPayloadFraction accounts for preamble, header, FCS, and
+	// inter-frame gap at ~1500-byte frames.
+	EthernetPayloadFraction = 0.95
+)
+
+// CellRate returns the ATM cell payload throughput (bytes/s of AAL payload)
+// for a line of the given bit rate and payload fraction: 48 of every 53
+// octets carry payload.
+func CellRate(lineBPS float64, payloadFraction float64) float64 {
+	return lineBPS * payloadFraction / 8 * 48.0 / 53.0
+}
+
+// EffectiveATMBps returns the usable payload bandwidth in bits/s for ATM
+// over the given line.
+func EffectiveATMBps(lineBPS float64, payloadFraction float64) float64 {
+	return lineBPS * payloadFraction * 48.0 / 53.0
+}

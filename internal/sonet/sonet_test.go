@@ -1,0 +1,38 @@
+package sonet
+
+import "testing"
+
+func TestCellRateArithmetic(t *testing.T) {
+	// At exactly 53 bytes/s of line rate with no framing overhead, the
+	// payload rate is 48 bytes/s.
+	if got := CellRate(53*8, 1.0); got != 48 {
+		t.Fatalf("CellRate = %v, want 48", got)
+	}
+}
+
+func TestEffectiveATMBpsTAXI(t *testing.T) {
+	got := EffectiveATMBps(TAXIRate, TAXIPayloadFraction)
+	want := 140e6 * 48 / 53
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("TAXI effective = %v, want ~%v", got, want)
+	}
+}
+
+func TestSONETOverheadReducesOC3(t *testing.T) {
+	raw := EffectiveATMBps(OC3Rate, 1.0)
+	framed := EffectiveATMBps(OC3Rate, SONETPayloadFraction)
+	if framed >= raw {
+		t.Fatal("SONET overhead did not reduce payload rate")
+	}
+	// 149.76/155.52 of the cells survive framing.
+	if ratio := framed / raw; ratio < 0.96 || ratio > 0.97 {
+		t.Fatalf("framing ratio = %v", ratio)
+	}
+}
+
+func TestRateOrdering(t *testing.T) {
+	// OC-48 > OC-3 > TAXI > DS-3 > Ethernet.
+	if !(OC48Rate > OC3Rate && OC3Rate > TAXIRate && TAXIRate > DS3Rate && DS3Rate > EthernetRate) {
+		t.Fatal("line-rate ordering violated")
+	}
+}

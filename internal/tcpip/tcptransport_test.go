@@ -1,0 +1,120 @@
+package tcpip
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+func TestTCPTransportDelivers(t *testing.T) {
+	net := NewTCPNetwork()
+	rtA := mts.New(mts.Config{Name: "a", IdleTimeout: 10 * time.Second})
+	rtB := mts.New(mts.Config{Name: "b", IdleTimeout: 10 * time.Second})
+	epA, err := net.Attach(0, rtA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := net.Attach(1, rtB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	payload := make([]byte, 50_000)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	var got []byte
+	var waiter *mts.Thread
+	epA.SetHandler(func(m *transport.Message) {})
+	epB.SetHandler(func(m *transport.Message) {
+		got = m.Data
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("w", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil {
+			th.Park("msg")
+		}
+	})
+	rtA.Create("s", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &transport.Message{From: 0, To: 1, Tag: 9, Data: payload})
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted over TCP")
+	}
+}
+
+func TestNCSOverRealTCP(t *testing.T) {
+	// The NSM tier end to end: NCS processes over genuine TCP loopback.
+	net := NewTCPNetwork()
+	const n = 3
+	procs := make([]*core.Proc, n)
+	for i := 0; i < n; i++ {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("p%d", i), IdleTimeout: 10 * time.Second})
+		ep, err := net.Attach(transport.ProcID(i), rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: ep})
+	}
+	// Ring: each proc sends to the next, receives from the previous.
+	sums := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i].TCreate("ring", mts.PrioDefault, func(th *core.Thread) {
+			th.Send(0, core.ProcID((i+1)%n), []byte{byte(i + 1)})
+			data, _ := th.Recv(core.Any, core.ProcID((i+n-1)%n))
+			sums[i] = int(data[0])
+		})
+	}
+	done := make(chan struct{}, n)
+	for _, p := range procs {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	for range procs {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if sums[i] != (i+n-1)%n+1 {
+			t.Fatalf("proc %d got %d", i, sums[i])
+		}
+	}
+}
+
+func TestTCPDuplicateProcRejected(t *testing.T) {
+	net := NewTCPNetwork()
+	rt := mts.New(mts.Config{Name: "x", IdleTimeout: time.Second})
+	ep, err := net.Attach(5, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := net.Attach(5, rt); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	net := NewTCPNetwork()
+	rt := mts.New(mts.Config{Name: "x", IdleTimeout: time.Second})
+	ep, _ := net.Attach(1, rt)
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}

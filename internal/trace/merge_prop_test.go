@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestQuickMergeDominance: for random thread timelines, the merged
+// processor row is Compute wherever any thread computes, Comm wherever
+// some thread communicates and none computes, Idle only when all are idle.
+func TestQuickMergeDominance(t *testing.T) {
+	f := func(seed int64, nRows, nSegs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]*Timeline, int(nRows%3)+1)
+		c := vclock.NewVirtualClock()
+		r := NewRecorder(c)
+		names := make([]string, len(rows))
+		// Build rows by replaying random state changes on a shared clock.
+		now := time.Duration(0)
+		for i := range rows {
+			names[i] = string(rune('a' + i))
+			r.Set(names[i], Idle) // every row exists from t=0
+		}
+		for step := 0; step < int(nSegs%10)+2; step++ {
+			name := names[rng.Intn(len(names))]
+			state := State(rng.Intn(3))
+			r.Set(name, state)
+			now += time.Duration(rng.Intn(5)+1) * time.Millisecond
+			c.Advance(vclock.Time(now))
+		}
+		r.CloseAll()
+		for i, name := range names {
+			rows[i] = r.Timeline(name)
+		}
+		merged := Merge("m", rows)
+
+		// Sample instants and check dominance.
+		for probe := 0; probe < 50; probe++ {
+			at := vclock.Time(rng.Int63n(int64(now) + 1))
+			anyCompute, anyComm := false, false
+			for _, tl := range rows {
+				switch tl.StateAt(at) {
+				case Compute:
+					anyCompute = true
+				case Comm:
+					anyComm = true
+				}
+			}
+			got := merged.StateAt(at)
+			switch {
+			case anyCompute:
+				if got != Compute {
+					return false
+				}
+			case anyComm:
+				if got != Comm {
+					return false
+				}
+			default:
+				if got != Idle {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

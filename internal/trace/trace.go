@@ -1,0 +1,248 @@
+// Package trace records per-thread activity timelines (computation,
+// communication, idle) and renders them as text Gantt charts, reproducing
+// the state diagrams of the paper's Figure 4 (matmul overlap) and Figure 16
+// (JPEG processor states, single- vs multithreaded).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// State is a timeline activity class, matching Figure 16's legend.
+type State uint8
+
+// Activity states.
+const (
+	Idle State = iota
+	Compute
+	Comm
+)
+
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	default:
+		return "?"
+	}
+}
+
+// glyphs used when rendering: computation is solid, communication hatched,
+// idle blank — mirroring the paper's figure legend.
+var glyphs = map[State]rune{Idle: '.', Compute: '#', Comm: '~'}
+
+// Segment is a half-open interval [From, To) spent in State.
+type Segment struct {
+	From, To vclock.Time
+	State    State
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() vclock.Duration { return s.To.Sub(s.From) }
+
+// Timeline is one row: a thread's (or processor's) activity over time.
+type Timeline struct {
+	Name     string
+	Segments []Segment
+	cur      State
+	since    vclock.Time
+	open     bool
+}
+
+// Recorder collects timelines against a clock.
+type Recorder struct {
+	clock vclock.Clock
+	rows  map[string]*Timeline
+	order []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder(clock vclock.Clock) *Recorder {
+	return &Recorder{clock: clock, rows: make(map[string]*Timeline)}
+}
+
+// Set switches the named row to state s as of now, closing the previous
+// segment. The first Set for a row opens it.
+func (r *Recorder) Set(name string, s State) {
+	now := r.clock.Now()
+	tl := r.rows[name]
+	if tl == nil {
+		tl = &Timeline{Name: name, cur: s, since: now, open: true}
+		r.rows[name] = tl
+		r.order = append(r.order, name)
+		return
+	}
+	if !tl.open {
+		tl.cur, tl.since, tl.open = s, now, true
+		return
+	}
+	if tl.cur == s {
+		return
+	}
+	if now > tl.since {
+		tl.Segments = append(tl.Segments, Segment{From: tl.since, To: now, State: tl.cur})
+	}
+	tl.cur, tl.since = s, now
+}
+
+// Close ends the named row's current segment at now.
+func (r *Recorder) Close(name string) {
+	now := r.clock.Now()
+	tl := r.rows[name]
+	if tl == nil || !tl.open {
+		return
+	}
+	if now > tl.since {
+		tl.Segments = append(tl.Segments, Segment{From: tl.since, To: now, State: tl.cur})
+	}
+	tl.open = false
+}
+
+// CloseAll ends every open row.
+func (r *Recorder) CloseAll() {
+	for name := range r.rows {
+		r.Close(name)
+	}
+}
+
+// Timeline returns the named row, or nil.
+func (r *Recorder) Timeline(name string) *Timeline { return r.rows[name] }
+
+// Names returns row names in first-use order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// TotalIn returns the summed duration the row spent in state s.
+func (tl *Timeline) TotalIn(s State) vclock.Duration {
+	var total vclock.Duration
+	for _, seg := range tl.Segments {
+		if seg.State == s {
+			total += seg.Duration()
+		}
+	}
+	return total
+}
+
+// End returns the latest segment end.
+func (tl *Timeline) End() vclock.Time {
+	if len(tl.Segments) == 0 {
+		return 0
+	}
+	return tl.Segments[len(tl.Segments)-1].To
+}
+
+// StateAt returns the row's state at time t (Idle outside all segments).
+func (tl *Timeline) StateAt(t vclock.Time) State {
+	for _, seg := range tl.Segments {
+		if t >= seg.From && t < seg.To {
+			return seg.State
+		}
+	}
+	return Idle
+}
+
+// Merge produces a processor-level row from several thread rows: at each
+// instant the merged state is Compute if any thread computes, else Comm if
+// any communicates, else Idle. This is how Figure 16's per-processor bars
+// relate to the per-thread activity underneath them.
+func Merge(name string, rows []*Timeline) *Timeline {
+	// Collect all boundaries.
+	var cuts []vclock.Time
+	for _, tl := range rows {
+		for _, seg := range tl.Segments {
+			cuts = append(cuts, seg.From, seg.To)
+		}
+	}
+	if len(cuts) == 0 {
+		return &Timeline{Name: name}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	out := &Timeline{Name: name}
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		if hi <= lo {
+			continue
+		}
+		mid := lo + (hi-lo)/2
+		state := Idle
+		for _, tl := range rows {
+			switch tl.StateAt(mid) {
+			case Compute:
+				state = Compute
+			case Comm:
+				if state == Idle {
+					state = Comm
+				}
+			}
+		}
+		n := len(out.Segments)
+		if n > 0 && out.Segments[n-1].State == state && out.Segments[n-1].To == lo {
+			out.Segments[n-1].To = hi
+			continue
+		}
+		out.Segments = append(out.Segments, Segment{From: lo, To: hi, State: state})
+	}
+	return out
+}
+
+// Render draws rows as a Gantt chart of the given width. Legend:
+// '#' computation, '~' communication, '.' idle.
+func Render(rows []*Timeline, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var end vclock.Time
+	for _, tl := range rows {
+		if e := tl.End(); e > end {
+			end = e
+		}
+	}
+	if end == 0 {
+		return "(empty trace)\n"
+	}
+	nameW := 0
+	for _, tl := range rows {
+		if len(tl.Name) > nameW {
+			nameW = len(tl.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  0%s%.4fs\n", nameW, "", strings.Repeat(" ", width-8), end.Seconds())
+	for _, tl := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			t := vclock.Time(float64(end) * (float64(i) + 0.5) / float64(width))
+			line[i] = glyphs[tl.StateAt(t)]
+		}
+		fmt.Fprintf(&b, "%*s |%s|\n", nameW, tl.Name, string(line))
+	}
+	fmt.Fprintf(&b, "%*s  legend: #=compute ~=comm .=idle\n", nameW, "")
+	return b.String()
+}
+
+// Summary reports per-row totals in each state, as fractions of the row's
+// span — the quantitative counterpart of Figure 16.
+func Summary(rows []*Timeline) string {
+	var b strings.Builder
+	for _, tl := range rows {
+		span := tl.End()
+		if len(tl.Segments) > 0 {
+			span = tl.End() - tl.Segments[0].From
+		}
+		if span == 0 {
+			continue
+		}
+		c := float64(tl.TotalIn(Compute)) / float64(span) * 100
+		m := float64(tl.TotalIn(Comm)) / float64(span) * 100
+		i := 100 - c - m
+		fmt.Fprintf(&b, "%-20s compute %5.1f%%  comm %5.1f%%  idle %5.1f%%\n", tl.Name, c, m, i)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// clockStepper advances a virtual clock by deltas.
+type clockStepper struct {
+	c   *vclock.VirtualClock
+	now time.Duration
+}
+
+func newStepper() *clockStepper { return &clockStepper{c: vclock.NewVirtualClock()} }
+
+func (s *clockStepper) adv(d time.Duration) {
+	s.now += d
+	s.c.Advance(vclock.Time(s.now))
+}
+
+func TestRecorderSegments(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t0", Compute)
+	s.adv(2 * time.Second)
+	r.Set("t0", Comm)
+	s.adv(1 * time.Second)
+	r.Close("t0")
+	tl := r.Timeline("t0")
+	if len(tl.Segments) != 2 {
+		t.Fatalf("%d segments, want 2", len(tl.Segments))
+	}
+	if tl.Segments[0].State != Compute || tl.Segments[0].Duration() != 2*time.Second {
+		t.Fatalf("seg0 = %+v", tl.Segments[0])
+	}
+	if tl.Segments[1].State != Comm || tl.Segments[1].Duration() != time.Second {
+		t.Fatalf("seg1 = %+v", tl.Segments[1])
+	}
+}
+
+func TestSameStateCoalesces(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t0", Compute)
+	s.adv(time.Second)
+	r.Set("t0", Compute) // no-op
+	s.adv(time.Second)
+	r.Close("t0")
+	tl := r.Timeline("t0")
+	if len(tl.Segments) != 1 || tl.Segments[0].Duration() != 2*time.Second {
+		t.Fatalf("segments = %+v", tl.Segments)
+	}
+}
+
+func TestZeroLengthSegmentsDropped(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t0", Compute)
+	r.Set("t0", Comm) // zero duration in Compute
+	s.adv(time.Second)
+	r.Close("t0")
+	tl := r.Timeline("t0")
+	if len(tl.Segments) != 1 || tl.Segments[0].State != Comm {
+		t.Fatalf("segments = %+v", tl.Segments)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t0", Compute)
+	s.adv(4 * time.Second)
+	r.Set("t0", Idle)
+	s.adv(1 * time.Second)
+	r.Set("t0", Compute)
+	s.adv(2 * time.Second)
+	r.Close("t0")
+	tl := r.Timeline("t0")
+	if tl.TotalIn(Compute) != 6*time.Second {
+		t.Fatalf("compute total = %v", tl.TotalIn(Compute))
+	}
+	if tl.TotalIn(Idle) != time.Second {
+		t.Fatalf("idle total = %v", tl.TotalIn(Idle))
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t0", Comm)
+	s.adv(time.Second)
+	r.Close("t0")
+	tl := r.Timeline("t0")
+	if tl.StateAt(vclock.Time(500*time.Millisecond)) != Comm {
+		t.Fatal("StateAt inside segment wrong")
+	}
+	if tl.StateAt(vclock.Time(2*time.Second)) != Idle {
+		t.Fatal("StateAt outside segments should be Idle")
+	}
+}
+
+func TestMergePriority(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	// Thread A: compute [0,2), comm [2,4). Thread B: comm [0,1), idle after.
+	r.Set("a", Compute)
+	r.Set("b", Comm)
+	s.adv(1 * time.Second)
+	r.Set("b", Idle)
+	s.adv(1 * time.Second)
+	r.Set("a", Comm)
+	s.adv(2 * time.Second)
+	r.CloseAll()
+	merged := Merge("node", []*Timeline{r.Timeline("a"), r.Timeline("b")})
+	// [0,2): A computes => Compute regardless of B.
+	if merged.StateAt(vclock.Time(500*time.Millisecond)) != Compute {
+		t.Fatal("merge should prefer Compute")
+	}
+	// [2,4): only comm.
+	if merged.StateAt(vclock.Time(3*time.Second)) != Comm {
+		t.Fatal("merge lost Comm")
+	}
+}
+
+func TestRenderContainsRowsAndLegend(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("proc1", Compute)
+	s.adv(time.Second)
+	r.Set("proc1", Idle)
+	s.adv(time.Second)
+	r.CloseAll()
+	out := Render([]*Timeline{r.Timeline("proc1")}, 40)
+	if !strings.Contains(out, "proc1") || !strings.Contains(out, "legend") {
+		t.Fatalf("render output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Fatalf("render missing glyphs:\n%s", out)
+	}
+}
+
+func TestSummaryPercentages(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("p", Compute)
+	s.adv(3 * time.Second)
+	r.Set("p", Idle)
+	s.adv(1 * time.Second)
+	r.CloseAll()
+	out := Summary([]*Timeline{r.Timeline("p")})
+	if !strings.Contains(out, "75.0%") {
+		t.Fatalf("summary = %q, want 75%% compute", out)
+	}
+}
+
+func TestEmptyRender(t *testing.T) {
+	out := Render(nil, 40)
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestReopenAfterClose(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("t", Compute)
+	s.adv(time.Second)
+	r.Close("t")
+	s.adv(time.Second)
+	r.Set("t", Comm)
+	s.adv(time.Second)
+	r.Close("t")
+	tl := r.Timeline("t")
+	if len(tl.Segments) != 2 {
+		t.Fatalf("segments = %+v", tl.Segments)
+	}
+	if tl.Segments[1].From != vclock.Time(2*time.Second) {
+		t.Fatal("reopened segment starts at wrong time")
+	}
+}

@@ -1,0 +1,27 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalRandomBytesNoPanic hardens the wire-message decoder against
+// arbitrary input (the UDP fabric hands it raw datagrams).
+func TestUnmarshalRandomBytesNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(256))
+		rng.Read(b)
+		if len(b) >= 4 && rng.Intn(2) == 0 {
+			b[0], b[1], b[2], b[3] = 0x4E, 0x43, 0x53, 0x31 // valid magic
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			Unmarshal(b)
+		}()
+	}
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/mts"
+)
+
+// Mem is the real-mode in-process transport: a full mesh between endpoints
+// whose runtimes execute concurrently in real time. Delivery crosses
+// goroutines via Runtime.Post, and every message passes through the wire
+// codec so nothing is shared by reference.
+//
+// Fault injection (drop patterns, added latency) exists so the NCS error-
+// and flow-control machinery can be tested against a misbehaving network.
+type Mem struct {
+	mu        sync.Mutex
+	endpoints map[ProcID]*MemEndpoint
+	latency   time.Duration
+	// dropEvery drops every Nth data message when > 0 (deterministic loss
+	// for go-back-N tests). Counted per transport, not per endpoint.
+	dropEvery int
+	// dropRate drops messages at random with the given probability; the
+	// seeded generator keeps runs reproducible without the phase-locking
+	// a strictly periodic pattern can exhibit against fixed-size
+	// retransmission rounds.
+	dropRate  float64
+	dropRNG   *rand.Rand
+	sendCount int
+	dropped   int
+}
+
+// NewMem returns an empty mesh.
+func NewMem() *Mem {
+	return &Mem{endpoints: make(map[ProcID]*MemEndpoint)}
+}
+
+// SetLatency adds a fixed real-time delivery delay.
+func (n *Mem) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// SetDropEvery makes the transport drop every k-th message (k > 0); 0
+// disables loss.
+func (n *Mem) SetDropEvery(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropEvery = k
+	n.sendCount = 0
+}
+
+// SetDropRate makes the transport drop each message independently with
+// probability rate, using a deterministic seed; rate 0 disables loss.
+func (n *Mem) SetDropRate(rate float64, seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropRate = rate
+	n.dropRNG = rand.New(rand.NewSource(seed))
+}
+
+// Dropped returns how many messages were discarded by fault injection.
+func (n *Mem) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Attach creates an endpoint for proc whose deliveries run in rt's
+// scheduler domain.
+func (n *Mem) Attach(proc ProcID, rt *mts.Runtime) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[proc]; dup {
+		panic(fmt.Sprintf("transport: duplicate endpoint for proc %d", proc))
+	}
+	ep := &MemEndpoint{net: n, proc: proc, rt: rt}
+	n.endpoints[proc] = ep
+	return ep
+}
+
+// MemEndpoint implements Endpoint over a Mem mesh.
+type MemEndpoint struct {
+	net  *Mem
+	proc ProcID
+	rt   *mts.Runtime
+
+	mu      sync.Mutex
+	handler Handler
+}
+
+// Proc implements Endpoint.
+func (e *MemEndpoint) Proc() ProcID { return e.proc }
+
+// SetHandler implements Endpoint.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send implements Endpoint. Mem accepts instantly, so the calling thread is
+// never parked; delivery happens asynchronously in the destination domain.
+func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
+	if m.From != e.proc {
+		panic(fmt.Sprintf("transport: proc %d sending message from %d", e.proc, m.From))
+	}
+	n := e.net
+	n.mu.Lock()
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("transport: send to unknown proc %d", m.To))
+	}
+	n.sendCount++
+	drop := n.dropEvery > 0 && n.sendCount%n.dropEvery == 0
+	if !drop && n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {
+		drop = true
+	}
+	if drop {
+		n.dropped++
+	}
+	latency := n.latency
+	n.mu.Unlock()
+	if drop {
+		return
+	}
+	// Roundtrip through the codec: the receiver gets an independent copy,
+	// exactly as if the bytes crossed a wire.
+	wire := m.Marshal()
+	deliver := func() {
+		got, err := Unmarshal(wire)
+		if err != nil {
+			panic("transport: self-produced message failed to decode: " + err.Error())
+		}
+		dst.mu.Lock()
+		h := dst.handler
+		dst.mu.Unlock()
+		if h == nil {
+			panic(fmt.Sprintf("transport: proc %d has no handler", dst.proc))
+		}
+		h(got)
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, func() { dst.rt.Post(deliver) })
+		return
+	}
+	dst.rt.Post(deliver)
+}

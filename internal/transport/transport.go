@@ -1,0 +1,118 @@
+// Package transport defines the message-level carrier interface that both
+// message-passing systems in this repo (the p4 baseline and NCS itself) run
+// over, plus the wire codec for message headers.
+//
+// Implementations:
+//   - Mem (this package): real-mode in-process transport with optional
+//     loss/latency injection; deliveries are Posted into the destination
+//     runtime's scheduler domain.
+//   - internal/tcpip.SimTCP: the simulated TCP/IP path used for the paper's
+//     Approach-1 benchmarks (NSM tier).
+//   - internal/nic.SimATM: the simulated ATM-API path (HSM tier,
+//     Approach 2).
+//   - internal/udpatm.UDP: AAL5 cells over UDP loopback, the "fake ATM
+//     transport over UDP" of the reproduction brief.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/mts"
+)
+
+// ProcID identifies a process (one per simulated/emulated workstation).
+type ProcID int
+
+// HostAny is the wildcard process value in receive matching (the paper's -1).
+const Any = -1
+
+// Message is one NCS/p4 message. Thread fields use the paper's addressing:
+// a message goes from (FromProc, FromThread) to (ToProc, ToThread). The p4
+// baseline leaves thread fields zero and uses Tag as the p4 message type.
+type Message struct {
+	From       ProcID
+	To         ProcID
+	FromThread int
+	ToThread   int
+	Tag        int
+	// Seq is the transport-level sequence, owned by the endpoint.
+	Seq uint32
+	// ESeq is the end-to-end sequence used by NCS error control (go-back-N);
+	// endpoints carry it untouched.
+	ESeq uint32
+	Data []byte
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d.%d->%d.%d tag=%d seq=%d %dB}",
+		m.From, m.FromThread, m.To, m.ToThread, m.Tag, m.Seq, len(m.Data))
+}
+
+// HeaderSize is the encoded header length in bytes.
+const HeaderSize = 32
+
+// ErrShortMessage reports a truncated wire message.
+var ErrShortMessage = errors.New("transport: short message")
+
+// ErrMagic reports a wire message with a bad magic number.
+var ErrMagic = errors.New("transport: bad magic")
+
+const wireMagic = 0x4E435331 // "NCS1"
+
+// Marshal encodes the message (header + payload) for the wire.
+func (m *Message) Marshal() []byte {
+	out := make([]byte, HeaderSize+len(m.Data))
+	binary.BigEndian.PutUint32(out[0:], wireMagic)
+	binary.BigEndian.PutUint32(out[4:], uint32(int32(m.From)))
+	binary.BigEndian.PutUint32(out[8:], uint32(int32(m.To)))
+	binary.BigEndian.PutUint32(out[12:], uint32(int32(m.FromThread)))
+	binary.BigEndian.PutUint32(out[16:], uint32(int32(m.ToThread)))
+	binary.BigEndian.PutUint32(out[20:], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint32(out[24:], m.Seq)
+	binary.BigEndian.PutUint32(out[28:], m.ESeq)
+	copy(out[HeaderSize:], m.Data)
+	return out
+}
+
+// Unmarshal decodes a wire message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < HeaderSize {
+		return nil, ErrShortMessage
+	}
+	if binary.BigEndian.Uint32(b[0:]) != wireMagic {
+		return nil, ErrMagic
+	}
+	m := &Message{
+		From:       ProcID(int32(binary.BigEndian.Uint32(b[4:]))),
+		To:         ProcID(int32(binary.BigEndian.Uint32(b[8:]))),
+		FromThread: int(int32(binary.BigEndian.Uint32(b[12:]))),
+		ToThread:   int(int32(binary.BigEndian.Uint32(b[16:]))),
+		Tag:        int(int32(binary.BigEndian.Uint32(b[20:]))),
+		Seq:        binary.BigEndian.Uint32(b[24:]),
+		ESeq:       binary.BigEndian.Uint32(b[28:]),
+	}
+	if len(b) > HeaderSize {
+		m.Data = append([]byte(nil), b[HeaderSize:]...)
+	}
+	return m, nil
+}
+
+// Handler consumes a delivered message. It runs in the destination
+// process's scheduler domain.
+type Handler func(*Message)
+
+// Endpoint is one process's attachment to a transport.
+type Endpoint interface {
+	// Proc returns the endpoint's process identity.
+	Proc() ProcID
+	// Send transmits m. It may park the calling thread until the message
+	// is accepted by the network (transport-specific: wire serialization
+	// for the TCP model, NIC hand-off for the ATM model, immediate for
+	// Mem). m.From must equal Proc().
+	Send(t *mts.Thread, m *Message)
+	// SetHandler installs the delivery callback. Must be set before any
+	// peer sends.
+	SetHandler(h Handler)
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mts"
+)
+
+func TestMessageCodecRoundtrip(t *testing.T) {
+	m := &Message{
+		From: 3, To: 7, FromThread: 1, ToThread: 0, Tag: 42, Seq: 99,
+		Data: []byte("payload bytes"),
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 3 || got.To != 7 || got.FromThread != 1 || got.ToThread != 0 ||
+		got.Tag != 42 || got.Seq != 99 || !bytes.Equal(got.Data, m.Data) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestMessageCodecNegativeFields(t *testing.T) {
+	m := &Message{From: 0, To: 1, FromThread: Any, ToThread: Any, Tag: Any}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FromThread != Any || got.ToThread != Any || got.Tag != Any {
+		t.Fatalf("wildcards lost: %+v", got)
+	}
+}
+
+func TestMessageCodecEmptyData(t *testing.T) {
+	m := &Message{From: 1, To: 2}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 0 {
+		t.Fatalf("Data = %v, want empty", got.Data)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderSize-1)); err != ErrShortMessage {
+		t.Fatalf("short: err = %v", err)
+	}
+	bad := (&Message{From: 1, To: 2}).Marshal()
+	bad[0] ^= 0xFF
+	if _, err := Unmarshal(bad); err != ErrMagic {
+		t.Fatalf("magic: err = %v", err)
+	}
+}
+
+func TestQuickCodec(t *testing.T) {
+	f := func(from, to, ft, tt, tag int32, seq uint32, data []byte) bool {
+		m := &Message{
+			From: ProcID(from), To: ProcID(to),
+			FromThread: int(ft), ToThread: int(tt),
+			Tag: int(tag), Seq: seq, Data: data,
+		}
+		got, err := Unmarshal(m.Marshal())
+		return err == nil && got.From == m.From && got.To == m.To &&
+			got.FromThread == m.FromThread && got.ToThread == m.ToThread &&
+			got.Tag == m.Tag && got.Seq == seq && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDelivery(t *testing.T) {
+	net := NewMem()
+	rtA := mts.New(mts.Config{Name: "a", IdleTimeout: 5 * time.Second})
+	rtB := mts.New(mts.Config{Name: "b", IdleTimeout: 5 * time.Second})
+	epA := net.Attach(0, rtA)
+	epB := net.Attach(1, rtB)
+	epA.SetHandler(func(m *Message) {})
+
+	var got *Message
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *Message) {
+		got = m
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil { // guard: delivery may beat the park
+			th.Park("msg")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &Message{From: 0, To: 1, Tag: 5, Data: []byte("hi")})
+	})
+
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if got == nil || got.Tag != 5 || string(got.Data) != "hi" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMemIsolation(t *testing.T) {
+	// The receiver's Data must be an independent copy.
+	net := NewMem()
+	rtA := mts.New(mts.Config{Name: "a", IdleTimeout: 5 * time.Second})
+	rtB := mts.New(mts.Config{Name: "b", IdleTimeout: 5 * time.Second})
+	epA := net.Attach(0, rtA)
+	epB := net.Attach(1, rtB)
+
+	payload := []byte("mutable")
+	var got *Message
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *Message) {
+		got = m
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil {
+			th.Park("msg")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &Message{From: 0, To: 1, Data: payload})
+		payload[0] = 'X' // mutate after send
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if got.Data[0] != 'm' {
+		t.Fatal("receiver saw sender's post-send mutation: shared buffer")
+	}
+}
+
+func TestMemDropEvery(t *testing.T) {
+	net := NewMem()
+	rtA := mts.New(mts.Config{Name: "a", IdleTimeout: 5 * time.Second})
+	rtB := mts.New(mts.Config{Name: "b", IdleTimeout: 5 * time.Second})
+	epA := net.Attach(0, rtA)
+	epB := net.Attach(1, rtB)
+	net.SetDropEvery(2) // drop every 2nd message
+
+	received := 0
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *Message) {
+		received++
+		if received == 2 {
+			rtB.Unblock(waiter, false)
+		}
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if received < 2 {
+			th.Park("msgs")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		for i := 0; i < 4; i++ {
+			epA.Send(th, &Message{From: 0, To: 1, Tag: i})
+		}
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if received != 2 || net.Dropped() != 2 {
+		t.Fatalf("received=%d dropped=%d, want 2/2", received, net.Dropped())
+	}
+}

@@ -1,0 +1,262 @@
+// Package udpatm is the real-mode ATM emulation: NCS messages are chunked
+// into AAL5 CPCS-PDUs, segmented into genuine 53-octet ATM cells
+// (internal/atm), and carried between processes in UDP datagrams on the
+// loopback interface — one datagram per AAL5 frame, datagram payload being
+// the frame's cells laid end to end.
+//
+// This substitutes for the paper's FORE SBA-200 + ATM switch fabric (see
+// DESIGN.md §2): the cell framing, HEC protection, per-VC reassembly and
+// CRC-32 verification all execute exactly as they would on the adapter;
+// only the physical layer is a UDP socket instead of a TAXI transceiver.
+package udpatm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/atm"
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+// VCFor mirrors internal/netsim's conventional VC numbering so traces from
+// both fabrics read the same: VPI 0, VCI = 64 + src*256 + dst.
+func VCFor(src, dst transport.ProcID) atm.VC {
+	return atm.VC{VPI: 0, VCI: uint16(64 + int(src)*256 + int(dst))}
+}
+
+// chunkHeaderSize prefixes each AAL5 frame: message sequence (4 bytes),
+// chunk index (2), flags (1: last), reserved (1). Matches internal/nic.
+const chunkHeaderSize = 8
+
+// MaxChunk is the message payload carried per AAL5 frame. The frame's
+// cells (MaxChunk/48 · 53 bytes ≈ 9 KB) stay well under the UDP datagram
+// limit.
+const MaxChunk = 8192 - chunkHeaderSize
+
+// Network is a mesh of UDP endpoints on loopback.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[transport.ProcID]*Endpoint
+}
+
+// NewNetwork returns an empty mesh.
+func NewNetwork() *Network {
+	return &Network{endpoints: make(map[transport.ProcID]*Endpoint)}
+}
+
+// Endpoint is one process's ATM-over-UDP attachment.
+type Endpoint struct {
+	net  *Network
+	proc transport.ProcID
+	rt   *mts.Runtime
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler transport.Handler
+	seq     uint32
+
+	// Receive-side state, touched only by the reader goroutine.
+	reasm   map[atm.VC]*atm.Reassembler
+	rxParts map[atm.VC][]byte
+
+	cellsSent int64
+	cellsRecv int64
+	badCells  int64
+
+	closed chan struct{}
+}
+
+// Attach creates an endpoint for proc bound to an ephemeral loopback port.
+// Deliveries are Posted into rt's scheduler domain.
+func (n *Network) Attach(proc transport.ProcID, rt *mts.Runtime) (*Endpoint, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("udpatm: listen: %w", err)
+	}
+	e := &Endpoint{
+		net:     n,
+		proc:    proc,
+		rt:      rt,
+		conn:    conn,
+		reasm:   make(map[atm.VC]*atm.Reassembler),
+		rxParts: make(map[atm.VC][]byte),
+		closed:  make(chan struct{}),
+	}
+	n.mu.Lock()
+	if _, dup := n.endpoints[proc]; dup {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("udpatm: duplicate proc %d", proc)
+	}
+	n.endpoints[proc] = e
+	n.mu.Unlock()
+	go e.readLoop()
+	return e, nil
+}
+
+// Close shuts the endpoint's socket and reader down.
+func (e *Endpoint) Close() error {
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	close(e.closed)
+	return e.conn.Close()
+}
+
+// Proc implements transport.Endpoint.
+func (e *Endpoint) Proc() transport.ProcID { return e.proc }
+
+// SetHandler implements transport.Endpoint.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// CellsSent returns transmitted cell count.
+func (e *Endpoint) CellsSent() int64 { return e.cellsSent }
+
+// CellsReceived returns received cell count.
+func (e *Endpoint) CellsReceived() int64 { return e.cellsRecv }
+
+// BadCells returns cells rejected by HEC or reassembly checks.
+func (e *Endpoint) BadCells() int64 { return e.badCells }
+
+// addrOf resolves a peer's UDP address.
+func (e *Endpoint) addrOf(p transport.ProcID) *net.UDPAddr {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if peer, ok := e.net.endpoints[p]; ok {
+		return peer.conn.LocalAddr().(*net.UDPAddr)
+	}
+	return nil
+}
+
+// Send implements transport.Endpoint: the message is chunked, each chunk
+// segmented into AAL5 cells, and each frame's cells written as one UDP
+// datagram. Loopback writes complete quickly, so the calling thread is not
+// parked; real network pacing would park here.
+func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
+	if m.From != e.proc {
+		panic(fmt.Sprintf("udpatm: proc %d sending as %d", e.proc, m.From))
+	}
+	dst := e.addrOf(m.To)
+	if dst == nil {
+		panic(fmt.Sprintf("udpatm: unknown destination proc %d", m.To))
+	}
+	e.mu.Lock()
+	e.seq++
+	m.Seq = e.seq
+	e.mu.Unlock()
+
+	wire := m.Marshal()
+	vc := VCFor(m.From, m.To)
+	total := len(wire)
+	nChunks := (total + MaxChunk - 1) / MaxChunk
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	for i := 0; i < nChunks; i++ {
+		lo := i * MaxChunk
+		hi := lo + MaxChunk
+		if hi > total {
+			hi = total
+		}
+		chunk := make([]byte, chunkHeaderSize+hi-lo)
+		binary.BigEndian.PutUint32(chunk[0:], m.Seq)
+		binary.BigEndian.PutUint16(chunk[4:], uint16(i))
+		if i == nChunks-1 {
+			chunk[6] = 1
+		}
+		copy(chunk[chunkHeaderSize:], wire[lo:hi])
+
+		cells, err := atm.Segment(vc, chunk)
+		if err != nil {
+			panic("udpatm: segment: " + err.Error())
+		}
+		dgram := make([]byte, 0, len(cells)*atm.CellSize)
+		for ci := range cells {
+			dgram = append(dgram, cells[ci].Bytes()...)
+		}
+		e.cellsSent += int64(len(cells))
+		if _, err := e.conn.WriteToUDP(dgram, dst); err != nil {
+			panic("udpatm: write: " + err.Error())
+		}
+	}
+}
+
+// readLoop receives datagrams, validates and reassembles cells, and posts
+// completed messages into the runtime.
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+				return // socket broke; nothing sensible to do
+			}
+		}
+		if n%atm.CellSize != 0 {
+			e.badCells++
+			continue
+		}
+		for off := 0; off < n; off += atm.CellSize {
+			cell, err := atm.DecodeCell(buf[off : off+atm.CellSize])
+			if err != nil {
+				e.badCells++
+				continue
+			}
+			e.cellsRecv++
+			e.pushCell(cell)
+		}
+	}
+}
+
+func (e *Endpoint) pushCell(cell atm.Cell) {
+	vc := cell.Header.VC()
+	r := e.reasm[vc]
+	if r == nil {
+		r = atm.NewReassembler(vc)
+		e.reasm[vc] = r
+	}
+	chunk, done, err := r.Push(cell)
+	if err != nil {
+		e.badCells++
+		return
+	}
+	if !done {
+		return
+	}
+	if len(chunk) < chunkHeaderSize {
+		e.badCells++
+		return
+	}
+	last := chunk[6] == 1
+	e.rxParts[vc] = append(e.rxParts[vc], chunk[chunkHeaderSize:]...)
+	if !last {
+		return
+	}
+	wire := e.rxParts[vc]
+	delete(e.rxParts, vc)
+	m, err := transport.Unmarshal(wire)
+	if err != nil {
+		e.badCells++
+		return
+	}
+	e.rt.Post(func() {
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			h(m)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(3 * time.Second)
+	if t1 != Time(3e9) {
+		t.Fatalf("Add = %d, want 3e9", t1)
+	}
+	if d := t1.Sub(t0); d != 3*time.Second {
+		t.Fatalf("Sub = %v, want 3s", d)
+	}
+	if s := t1.Seconds(); s != 3.0 {
+		t.Fatalf("Seconds = %v, want 3", s)
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Fatalf("real clock went backwards: %d then %d", a, b)
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock()
+	if c.Now() != 0 {
+		t.Fatal("virtual clock should start at 0")
+	}
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", c.Now())
+	}
+	c.Advance(100) // same time is allowed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Advance did not panic")
+		}
+	}()
+	c.Advance(50)
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	q.Schedule(30, func() { fired = append(fired, 3) })
+	q.Schedule(10, func() { fired = append(fired, 1) })
+	q.Schedule(20, func() { fired = append(fired, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", fired)
+	}
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(42, func() { fired = append(fired, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of insertion order: %v", fired)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	q := NewEventQueue()
+	ran := false
+	e := q.Schedule(5, func() { ran = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	if q.Len() != 0 {
+		t.Fatal("cancelled event still queued")
+	}
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice, or cancelling nil, is harmless.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelInteriorEvent(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	q.Schedule(1, func() { fired = append(fired, 1) })
+	e2 := q.Schedule(2, func() { fired = append(fired, 2) })
+	q.Schedule(3, func() { fired = append(fired, 3) })
+	q.Cancel(e2)
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	q := NewEventQueue()
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime of empty queue should report !ok")
+	}
+	q.Schedule(7, func() {})
+	q.Schedule(3, func() {})
+	if tt, ok := q.PeekTime(); !ok || tt != 3 {
+		t.Fatalf("PeekTime = %d,%v, want 3,true", tt, ok)
+	}
+}
+
+// TestQuickPopsMonotone: for arbitrary schedules, pops are non-decreasing in
+// time and FIFO within equal times.
+func TestQuickPopsMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewEventQueue()
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		for i := 0; i < int(n); i++ {
+			at := Time(rng.Intn(16)) // dense range forces ties
+			i := i
+			_ = i
+			q.Schedule(at, nil)
+		}
+		var last Time = -1
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time() < last {
+				return false
+			}
+			last = e.Time()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

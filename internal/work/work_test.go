@@ -1,0 +1,63 @@
+package work
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mts"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func TestRealRunsFnIgnoresCost(t *testing.T) {
+	ran := false
+	rt := mts.New(mts.Config{Name: "t", IdleTimeout: time.Second})
+	rt.Create("w", mts.PrioDefault, func(th *mts.Thread) {
+		Real()(th, time.Hour, func() { ran = true })
+	})
+	start := time.Now()
+	rt.Run()
+	if !ran {
+		t.Fatal("fn not run")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Real charged the cost")
+	}
+}
+
+func TestRealNilFn(t *testing.T) {
+	rt := mts.New(mts.Config{Name: "t", IdleTimeout: time.Second})
+	rt.Create("w", mts.PrioDefault, func(th *mts.Thread) {
+		Real()(th, 0, nil) // must not panic
+	})
+	rt.Run()
+}
+
+func TestSimChargesCostSkipsFn(t *testing.T) {
+	eng := sim.NewEngine()
+	node := eng.NewNode("n")
+	ran := false
+	node.RT().Create("w", mts.PrioDefault, func(th *mts.Thread) {
+		Sim(node)(th, 3*time.Second, func() { ran = true })
+	})
+	eng.Run()
+	if ran {
+		t.Fatal("Sim ran fn")
+	}
+	if eng.Now() != vclock.Time(3*time.Second) {
+		t.Fatalf("virtual time = %v, want 3s", eng.Now().Seconds())
+	}
+}
+
+func TestBothRunsAndCharges(t *testing.T) {
+	eng := sim.NewEngine()
+	node := eng.NewNode("n")
+	ran := false
+	node.RT().Create("w", mts.PrioDefault, func(th *mts.Thread) {
+		Both(node)(th, time.Second, func() { ran = true })
+	})
+	eng.Run()
+	if !ran || eng.Now() != vclock.Time(time.Second) {
+		t.Fatalf("ran=%v now=%v", ran, eng.Now().Seconds())
+	}
+}
