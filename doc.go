@@ -2,8 +2,8 @@
 // Message Passing Environment for ATM LAN/WAN" (Yadav, Reddy, Hariri, Fox;
 // NPAC, Syracuse University, 1995): NCS, the NYNET Communication System.
 //
-// The implementation lives under internal/ — see DESIGN.md for the system
-// inventory, EXPERIMENTS.md for the paper-vs-measured record, and README.md
-// for a guided tour. bench_test.go in this directory regenerates every
-// table and figure of the paper's evaluation via `go test -bench`.
+// The implementation lives under internal/ — see README.md for a guided
+// tour, the package map, and build/test instructions. bench_test.go in
+// this directory regenerates every table and figure of the paper's
+// evaluation via `go test -bench`.
 package repro

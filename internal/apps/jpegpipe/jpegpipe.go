@@ -15,6 +15,7 @@ package jpegpipe
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/apps/jpegcodec"
@@ -76,8 +77,20 @@ type Result struct {
 	Elapsed time.Duration
 	// Output is the reconstructed image (real mode).
 	Output *jpegcodec.Image
-	// CompressedBytes totals the compressed traffic (real mode).
+	// CompressedBytes totals the compressed traffic (real mode). Read it
+	// only after the run completes: in real mode the compressors run in
+	// concurrent runtimes and update it through addCompressed.
 	CompressedBytes int
+
+	mu sync.Mutex
+}
+
+// addCompressed accumulates compressed traffic from concurrently running
+// worker processes.
+func (r *Result) addCompressed(n int) {
+	r.mu.Lock()
+	r.CompressedBytes += n
+	r.mu.Unlock()
 }
 
 // Message tags.
@@ -137,7 +150,7 @@ func BuildP4(procs []*p4.Process, cfg Config) *Result {
 			if enc == nil {
 				enc = make([]byte, cfg.modelCompressed(pixels))
 			}
-			res.CompressedBytes += len(enc)
+			res.addCompressed(len(enc))
 			comp.Send(t, tagComp, p4.ProcID(nc+i+1), enc)
 		})
 
@@ -239,7 +252,7 @@ func BuildNCS(procs []*core.Proc, cfg Config) *Result {
 				if enc == nil {
 					enc = make([]byte, cfg.modelCompressed(pixels))
 				}
-				res.CompressedBytes += len(enc)
+				res.addCompressed(len(enc))
 				t.Send(k, core.ProcID(nc+i+1), enc)
 			})
 			dec.TCreate(fmt.Sprintf("dec%d-t%d", i, k), mts.PrioDefault, func(t *core.Thread) {

@@ -189,35 +189,127 @@ const trailerSize = 8
 // MaxPDU is the largest AAL5 payload (16-bit length field).
 const MaxPDU = 65535
 
-// Segment builds the AAL5 CPCS-PDU for payload and slices it into cells on
-// the given VC. The last cell carries the end-of-frame PT indication. An
-// empty payload is legal (pure-pad PDU).
-func Segment(vc VC, payload []byte) ([]Cell, error) {
+// buildTrailer computes the CPCS-PDU geometry and trailer for payload:
+// the zero-pad length and the 8-octet trailer (UU, CPI, Length, CRC-32).
+// The CRC is computed streaming over payload ++ pad ++ trailer[0:4], so no
+// contiguous PDU buffer is ever materialized.
+func buildTrailer(payload []byte) (pad int, trailer [trailerSize]byte, err error) {
 	if len(payload) > MaxPDU {
-		return nil, ErrTooLong
+		return 0, trailer, ErrTooLong
 	}
 	padded := len(payload) + trailerSize
-	pad := (PayloadSize - padded%PayloadSize) % PayloadSize
-	pdu := make([]byte, padded+pad)
-	copy(pdu, payload)
-	// Pad octets are zero. Trailer occupies the final 8 octets.
-	tr := pdu[len(pdu)-trailerSize:]
-	tr[0] = 0 // CPCS-UU
-	tr[1] = 0 // CPI
-	binary.BigEndian.PutUint16(tr[2:], uint16(len(payload)))
-	crc := aal5crc32(pdu[:len(pdu)-4])
-	binary.BigEndian.PutUint32(tr[4:], crc)
+	pad = (PayloadSize - padded%PayloadSize) % PayloadSize
+	binary.BigEndian.PutUint16(trailer[2:], uint16(len(payload)))
+	crc := ^uint32(0)
+	for _, b := range payload {
+		crc = crc<<8 ^ aal5Table[byte(crc>>24)^b]
+	}
+	for i := 0; i < pad; i++ {
+		crc = crc<<8 ^ aal5Table[byte(crc>>24)]
+	}
+	for _, b := range trailer[:4] {
+		crc = crc<<8 ^ aal5Table[byte(crc>>24)^b]
+	}
+	binary.BigEndian.PutUint32(trailer[4:], ^crc)
+	return pad, trailer, nil
+}
 
-	nCells := len(pdu) / PayloadSize
-	cells := make([]Cell, nCells)
+// pduByte returns octet off of the logical PDU payload ++ pad ++ trailer.
+func pduByte(payload []byte, pad int, trailer *[trailerSize]byte, off int) byte {
+	if off < len(payload) {
+		return payload[off]
+	}
+	off -= len(payload)
+	if off < pad {
+		return 0
+	}
+	return trailer[off-pad]
+}
+
+// SegmentInto builds the AAL5 CPCS-PDU for payload and appends its cells on
+// the given VC to cells, returning the extended slice. The last cell
+// carries the end-of-frame PT indication. An empty payload is legal
+// (pure-pad PDU). Passing a scratch slice (cells[:0]) makes segmentation
+// allocation-free once the slice has grown to the working set.
+func SegmentInto(cells []Cell, vc VC, payload []byte) ([]Cell, error) {
+	pad, trailer, err := buildTrailer(payload)
+	if err != nil {
+		return nil, err
+	}
+	pduLen := len(payload) + pad + trailerSize
+	nCells := pduLen / PayloadSize
 	for i := 0; i < nCells; i++ {
-		cells[i].Header = Header{VPI: vc.VPI, VCI: vc.VCI}
+		var c Cell
+		c.Header = Header{VPI: vc.VPI, VCI: vc.VCI}
 		if i == nCells-1 {
-			cells[i].Header.PT = ptAAL5End
+			c.Header.PT = ptAAL5End
 		}
-		copy(cells[i].Payload[:], pdu[i*PayloadSize:(i+1)*PayloadSize])
+		base := i * PayloadSize
+		lim := len(payload) - base
+		if lim > PayloadSize {
+			lim = PayloadSize
+		}
+		if lim > 0 {
+			// Fast path: straight copy of the payload run.
+			copy(c.Payload[:lim], payload[base:])
+		} else {
+			lim = 0
+		}
+		for j := lim; j < PayloadSize; j++ {
+			c.Payload[j] = pduByte(payload, pad, &trailer, base+j)
+		}
+		cells = append(cells, c)
 	}
 	return cells, nil
+}
+
+// Segment builds the AAL5 CPCS-PDU for payload and slices it into freshly
+// allocated cells on the given VC; SegmentInto is the reuse-friendly form.
+func Segment(vc VC, payload []byte) ([]Cell, error) {
+	return SegmentInto(nil, vc, payload)
+}
+
+// AppendCells segments payload exactly as SegmentInto but appends the
+// cells' 53-octet wire form directly onto dst — the shape the UDP fabric
+// wants (a datagram is a frame's cells laid end to end), with no
+// intermediate []Cell or per-cell Bytes allocation.
+func AppendCells(dst []byte, vc VC, payload []byte) ([]byte, error) {
+	pad, trailer, err := buildTrailer(payload)
+	if err != nil {
+		return nil, err
+	}
+	pduLen := len(payload) + pad + trailerSize
+	nCells := pduLen / PayloadSize
+	h := Header{VPI: vc.VPI, VCI: vc.VCI}
+	h4, err := h.headerBytes()
+	if err != nil {
+		return nil, err
+	}
+	hec := HEC(h4)
+	for i := 0; i < nCells; i++ {
+		if i == nCells-1 {
+			h.PT = ptAAL5End
+			if h4, err = h.headerBytes(); err != nil {
+				return nil, err
+			}
+			hec = HEC(h4)
+		}
+		dst = append(dst, h4[0], h4[1], h4[2], h4[3], hec)
+		base := i * PayloadSize
+		lim := len(payload) - base
+		if lim > PayloadSize {
+			lim = PayloadSize
+		}
+		if lim > 0 {
+			dst = append(dst, payload[base:base+lim]...)
+		} else {
+			lim = 0
+		}
+		for j := lim; j < PayloadSize; j++ {
+			dst = append(dst, pduByte(payload, pad, &trailer, base+j))
+		}
+	}
+	return dst, nil
 }
 
 // CellCount returns how many cells Segment will produce for a payload of n
@@ -247,9 +339,18 @@ func (r *Reassembler) Dropped() int { return r.dropped }
 
 // Push adds the next cell. When the cell completes a frame, Push returns the
 // verified payload (done=true). Cells for other VCs are rejected.
+//
+// The returned payload aliases the reassembler's internal buffer and is
+// valid only until the next Push: the buffer grows once to the VC's working
+// set and is then reused for every frame (the per-VC buffer recycling the
+// SBA-200's i960 does in hardware). Callers that retain the payload must
+// copy it.
 func (r *Reassembler) Push(c Cell) (payload []byte, done bool, err error) {
 	if c.Header.VC() != r.vc {
 		return nil, false, fmt.Errorf("atm: cell for VC %v pushed to reassembler for %v", c.Header.VC(), r.vc)
+	}
+	if !r.active {
+		r.buf = r.buf[:0]
 	}
 	r.buf = append(r.buf, c.Payload[:]...)
 	r.active = true
@@ -257,7 +358,6 @@ func (r *Reassembler) Push(c Cell) (payload []byte, done bool, err error) {
 		return nil, false, nil
 	}
 	pdu := r.buf
-	r.buf = nil
 	r.active = false
 	if len(pdu) < trailerSize {
 		r.dropped++

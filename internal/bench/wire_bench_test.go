@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/wire"
+)
+
+// BenchmarkWireCodec measures the shared framing hot path in isolation so
+// future PRs have a before/after number that is independent of the
+// scheduler and the transports: marshal → chunk → (optionally AAL5 cell
+// packing) → reassemble → unmarshal, all on pooled buffers.
+func BenchmarkWireCodec(b *testing.B) {
+	sizes := []int{64, 1024, 4096, 65536}
+
+	b.Run("frame", func(b *testing.B) {
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+				m := &wire.Message{From: 0, To: 1, Data: make([]byte, size)}
+				var a wire.Assembler
+				wb := wire.GetBuf(m.WireSize())
+				cb := wire.GetBuf(8192)
+				defer wire.PutBuf(wb)
+				defer wire.PutBuf(cb)
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Seq++
+					wb.B = m.MarshalAppend(wb.B[:0])
+					ck := wire.NewChunker(wb.B, m.Seq, 8192-wire.ChunkHeaderSize)
+					for {
+						chunk, ok := ck.Next(cb.B[:0])
+						if !ok {
+							break
+						}
+						msg, done, err := a.Push(chunk)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if done && len(msg) != m.WireSize() {
+							b.Fatalf("reassembled %d bytes, want %d", len(msg), m.WireSize())
+						}
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("frame+cells", func(b *testing.B) {
+		vc := atm.VC{VCI: 64}
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+				m := &wire.Message{From: 0, To: 1, Data: make([]byte, size)}
+				wb := wire.GetBuf(m.WireSize())
+				cb := wire.GetBuf(8192)
+				db := wire.GetBuf(atm.CellCount(8192) * atm.CellSize)
+				defer wire.PutBuf(wb)
+				defer wire.PutBuf(cb)
+				defer wire.PutBuf(db)
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Seq++
+					wb.B = m.MarshalAppend(wb.B[:0])
+					ck := wire.NewChunker(wb.B, m.Seq, 8192-wire.ChunkHeaderSize)
+					for {
+						chunk, ok := ck.Next(cb.B[:0])
+						if !ok {
+							break
+						}
+						dgram, err := atm.AppendCells(db.B[:0], vc, chunk)
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = dgram
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("unmarshal", func(b *testing.B) {
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+				m := &wire.Message{From: 0, To: 1, Data: make([]byte, size)}
+				frame := m.Marshal()
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := wire.Unmarshal(frame); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}

@@ -124,12 +124,23 @@ type Proc struct {
 	sendThread *mts.Thread
 	recvThread *mts.Thread
 
-	sendQ []*sendReq
-	rxIn  []*transport.Message
+	// sendQ and rxIn are head-indexed FIFO queues: popping advances the
+	// head instead of re-slicing, so the backing arrays are reused once
+	// drained rather than abandoned to the allocator.
+	sendQ     []*sendReq
+	sendQHead int
+	rxIn      []*transport.Message
+	rxInHead  int
 
 	// store holds delivered-but-unclaimed data messages.
 	store   []*transport.Message
 	waiters []*recvWaiter
+
+	// reqFree and waiterFree recycle the per-call bookkeeping structs of
+	// the send/recv hot paths. All access happens in the scheduler
+	// domain, so no locking is needed.
+	reqFree    []*sendReq
+	waiterFree []*recvWaiter
 
 	threads  []*Thread
 	userLive int
@@ -332,10 +343,31 @@ func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
 		Data:       data,
 	}
 	p.traceThread(t, trace.Idle)
-	p.enqueueSend(&sendReq{m: m, caller: t.mt})
+	req := p.getReq()
+	req.m = m
+	req.caller = t.mt
+	p.enqueueSend(req)
 	t.mt.Park("ncs send")
 	p.traceThread(t, trace.Compute)
 	p.sent++
+}
+
+// getReq draws a sendReq from the freelist (or allocates); putReq returns
+// one once the send loop has finished with it. Deferred requests (owned by
+// a flow/error controller awaiting re-enqueue) are recycled only after
+// they finally transmit.
+func (p *Proc) getReq() *sendReq {
+	if n := len(p.reqFree); n > 0 {
+		req := p.reqFree[n-1]
+		p.reqFree = p.reqFree[:n-1]
+		return req
+	}
+	return &sendReq{}
+}
+
+func (p *Proc) putReq(req *sendReq) {
+	*req = sendReq{}
+	p.reqFree = append(p.reqFree, req)
 }
 
 // enqueueSend queues a request and wakes the send thread if it is parked at
@@ -348,16 +380,31 @@ func (p *Proc) enqueueSend(req *sendReq) {
 	p.wakeIfIdle(p.sendThread, "send idle")
 }
 
+// popSend removes the oldest queued request, reusing the backing array
+// once the queue drains.
+func (p *Proc) popSend() *sendReq {
+	req := p.sendQ[p.sendQHead]
+	p.sendQ[p.sendQHead] = nil
+	p.sendQHead++
+	if p.sendQHead == len(p.sendQ) {
+		p.sendQ = p.sendQ[:0]
+		p.sendQHead = 0
+	}
+	return req
+}
+
 // enqueueControl queues an internally generated control message (no caller
 // to wake).
 func (p *Proc) enqueueControl(m *transport.Message) {
-	p.enqueueSend(&sendReq{m: m})
+	req := p.getReq()
+	req.m = m
+	p.enqueueSend(req)
 }
 
 // sendLoop is the send system thread (Figure 8's "S").
 func (p *Proc) sendLoop(st *mts.Thread) {
 	for {
-		if len(p.sendQ) == 0 {
+		if p.sendQHead == len(p.sendQ) {
 			if p.mayShutdown() {
 				p.traceSysClose("send")
 				return
@@ -366,8 +413,7 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 			st.Park("send idle")
 			continue
 		}
-		req := p.sendQ[0]
-		p.sendQ = p.sendQ[1:]
+		req := p.popSend()
 		p.traceSys("send", trace.Comm)
 		// Data messages pass flow-control and error-control admission;
 		// a controller that cannot admit now takes ownership of the
@@ -389,6 +435,9 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 		if req.caller != nil {
 			p.cfg.RT.Unblock(req.caller, false)
 		}
+		// The transfer is on the wire and the caller woken: nothing
+		// references the request anymore, so it returns to the freelist.
+		p.putReq(req)
 	}
 }
 
@@ -469,6 +518,19 @@ func (p *Proc) matches(m *transport.Message, tag, fromThread int, fromProc ProcI
 	return true
 }
 
+// popRx removes the oldest delivered message, reusing the backing array
+// once the queue drains.
+func (p *Proc) popRx() *transport.Message {
+	m := p.rxIn[p.rxInHead]
+	p.rxIn[p.rxInHead] = nil
+	p.rxInHead++
+	if p.rxInHead == len(p.rxIn) {
+		p.rxIn = p.rxIn[:0]
+		p.rxInHead = 0
+	}
+	return m
+}
+
 // deliver is the transport handler: it queues the raw message for the
 // receive system thread and wakes it (Figure 8's "R").
 func (p *Proc) deliver(m *transport.Message) {
@@ -490,7 +552,7 @@ func (p *Proc) deliver(m *transport.Message) {
 // control handling, parked waiters, or the message store.
 func (p *Proc) recvLoop(rt *mts.Thread) {
 	for {
-		if len(p.rxIn) == 0 {
+		if p.rxInHead == len(p.rxIn) {
 			if p.mayShutdown() {
 				p.traceSysClose("recv")
 				return
@@ -499,8 +561,7 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 			rt.Park("recv idle")
 			continue
 		}
-		m := p.rxIn[0]
-		p.rxIn = p.rxIn[1:]
+		m := p.popRx()
 		p.traceSys("recv", trace.Comm)
 
 		// Control traffic is consumed by the subsystem it belongs to.

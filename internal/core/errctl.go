@@ -164,7 +164,10 @@ func (g *GoBackN) timerFire(dst ProcID) {
 	for _, m := range pe.unacked {
 		cp := *m
 		g.retrans++
-		g.p.enqueueSend(&sendReq{m: &cp, raw: true})
+		req := g.p.getReq()
+		req.m = &cp
+		req.raw = true
+		g.p.enqueueSend(req)
 	}
 	g.armTimer(dst, pe)
 }

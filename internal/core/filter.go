@@ -65,11 +65,34 @@ func (t *Thread) recvTagOut(tag, fromThread int, fromProc ProcID) ([]byte, Addr,
 		p.received++
 		return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, m.Tag
 	}
-	w := &recvWaiter{t: t, fromThread: fromThread, fromProc: fromProc, tag: tag}
+	w := p.getWaiter()
+	w.t = t
+	w.fromThread = fromThread
+	w.fromProc = fromProc
+	w.tag = tag
 	p.waiters = append(p.waiters, w)
 	p.traceThread(t, trace.Idle)
 	t.mt.Park("ncs recv")
 	p.traceThread(t, trace.Compute)
 	p.received++
-	return w.got.Data, Addr{Proc: w.got.From, Thread: w.got.FromThread}, w.got.Tag
+	got := w.got
+	p.putWaiter(w)
+	return got.Data, Addr{Proc: got.From, Thread: got.FromThread}, got.Tag
+}
+
+// getWaiter draws a recvWaiter from the freelist (or allocates); putWaiter
+// returns one once the woken receiver has read its match. Scheduler-domain
+// only, like the queues it feeds.
+func (p *Proc) getWaiter() *recvWaiter {
+	if n := len(p.waiterFree); n > 0 {
+		w := p.waiterFree[n-1]
+		p.waiterFree = p.waiterFree[:n-1]
+		return w
+	}
+	return &recvWaiter{}
+}
+
+func (p *Proc) putWaiter(w *recvWaiter) {
+	*w = recvWaiter{}
+	p.waiterFree = append(p.waiterFree, w)
 }

@@ -123,7 +123,10 @@ func (s *SelectiveRepeat) timerFire(dst ProcID, seq uint32) {
 	}
 	cp := *pending.m
 	s.retrans++
-	s.p.enqueueSend(&sendReq{m: &cp, raw: true})
+	req := s.p.getReq()
+	req.m = &cp
+	req.raw = true
+	s.p.enqueueSend(req)
 	s.armTimer(dst, seq)
 }
 
@@ -178,7 +181,10 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 			flushed = append(flushed, next)
 		}
 		if len(flushed) > 0 {
-			s.p.rxIn = append(flushed, s.p.rxIn...)
+			// Prepend ahead of the live (unconsumed) region of the
+			// head-indexed queue.
+			s.p.rxIn = append(flushed, s.p.rxIn[s.p.rxInHead:]...)
+			s.p.rxInHead = 0
 		}
 		return true
 	case m.ESeq > pe.expected:

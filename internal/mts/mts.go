@@ -422,6 +422,9 @@ func (rt *Runtime) Run() {
 	rt.running = true
 	defer func() { rt.running = false }()
 
+	// One reusable timer bounds every idle wait; allocating a fresh
+	// time.After per wait would put garbage on the scheduler's hot path.
+	var idle *time.Timer
 	for rt.live > 0 {
 		// Drain pending external completions first so I/O wakeups take
 		// effect at the earliest switch point.
@@ -431,10 +434,23 @@ func (rt *Runtime) Run() {
 		}
 		// Nothing runnable: wait for the outside world.
 		if rt.idleTimeout > 0 {
+			if idle == nil {
+				idle = time.NewTimer(rt.idleTimeout)
+			} else {
+				idle.Reset(rt.idleTimeout)
+			}
 			select {
 			case fn := <-rt.external:
+				if !idle.Stop() {
+					// Drain a concurrent expiry so the next Reset is
+					// clean (harmless no-op under Go 1.23+ semantics).
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
 				fn()
-			case <-time.After(rt.idleTimeout):
+			case <-idle.C:
 				panic(fmt.Sprintf("mts(%s): deadlock — %d live threads, none runnable after %v\n%s",
 					rt.name, rt.live, rt.idleTimeout, rt.DumpState()))
 			}

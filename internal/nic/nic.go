@@ -10,7 +10,6 @@
 package nic
 
 import (
-	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -19,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Config parameterizes the adapter model and its host interface.
@@ -54,11 +54,10 @@ func (c Config) Validate() {
 	}
 }
 
-// chunkHeaderSize prefixes each AAL5 frame: message sequence (4 bytes),
-// chunk index (2), flags (1: last), reserved (1).
-const chunkHeaderSize = 8
-
-// SimATM is one host's adapter + HSM endpoint.
+// SimATM is one host's adapter + HSM endpoint. Chunk framing and message
+// reassembly are delegated to internal/wire (one wire.Assembler per VC,
+// replicating the strict sequence/index tracking a dropped frame needs so
+// the next message assembles cleanly).
 type SimATM struct {
 	eng  *sim.Engine
 	node *sim.Node
@@ -75,13 +74,12 @@ type SimATM struct {
 	preFilter func(netsim.Unit) bool
 
 	reasm map[atm.VC]*atm.Reassembler
-	// rxParts accumulates message chunks per VC until the last chunk;
-	// rxSeq tracks which message each partial belongs to so a dropped
-	// frame abandons the whole message cleanly instead of corrupting the
-	// next one.
-	rxParts map[atm.VC][]byte
-	rxSeq   map[atm.VC]uint32
-	rxNext  map[atm.VC]uint16
+	asm   map[atm.VC]*wire.Assembler
+
+	// cellScratch is reused across Send calls: path.Send boxes each Cell
+	// by value, so the slice is dead the moment the drain loop finishes,
+	// before any park point is reached.
+	cellScratch []atm.Cell
 
 	cellsSent int64
 	msgsSent  int64
@@ -101,9 +99,7 @@ func NewSimATM(node *sim.Node, net *netsim.Network, host int, cfg Config) *SimAT
 		cfg:     cfg,
 		outBufs: mts.NewSemaphore(node.RT(), cfg.NumBuffers),
 		reasm:   make(map[atm.VC]*atm.Reassembler),
-		rxParts: make(map[atm.VC][]byte),
-		rxSeq:   make(map[atm.VC]uint32),
-		rxNext:  make(map[atm.VC]uint16),
+		asm:     make(map[atm.VC]*wire.Assembler),
 	}
 	net.AttachHost(host, netsim.PortFunc(a.deliverCell))
 	return a
@@ -145,43 +141,36 @@ func (a *SimATM) Send(t *mts.Thread, m *transport.Message) {
 	}
 	a.seq++
 	m.Seq = a.seq
-	wire := m.Marshal()
+	wb := wire.GetBuf(m.WireSize())
+	wb.B = m.MarshalAppend(wb.B)
 	a.msgsSent++
 
 	a.node.Compute(t, a.cfg.TrapCost)
 
 	vc := netsim.VCFor(a.host, int(m.To))
 	path := a.net.PathFor(a.host)
-	chunkPayload := a.cfg.BufferSize - chunkHeaderSize
-	total := len(wire)
-	nChunks := (total + chunkPayload - 1) / chunkPayload
-	if nChunks == 0 {
-		nChunks = 1
-	}
-	for i := 0; i < nChunks; i++ {
-		lo := i * chunkPayload
-		hi := lo + chunkPayload
-		if hi > total {
-			hi = total
+	// The chunk buffer is per-Send (another thread's Send may interleave
+	// at the park points below); the marshal buffer likewise.
+	cb := wire.GetBuf(a.cfg.BufferSize)
+	ck := wire.NewChunker(wb.B, m.Seq, a.cfg.BufferSize-wire.ChunkHeaderSize)
+	for {
+		chunk, ok := ck.Next(cb.B[:0])
+		if !ok {
+			break
 		}
-		chunk := make([]byte, chunkHeaderSize+hi-lo)
-		binary.BigEndian.PutUint32(chunk[0:], m.Seq)
-		binary.BigEndian.PutUint16(chunk[4:], uint16(i))
-		if i == nChunks-1 {
-			chunk[6] = 1
-		}
-		copy(chunk[chunkHeaderSize:], wire[lo:hi])
-
 		// Acquire a free output buffer; with k >= 2 this overlaps the
 		// NIC draining earlier buffers.
 		a.outBufs.Wait(t)
 		// Host copy into the mapped kernel buffer (holds the CPU).
 		a.node.Compute(t, time.Duration(len(chunk))*a.cfg.HostCopyPerByte)
 		// The NIC takes over: segment and clock cells onto the uplink.
-		cells, err := atm.Segment(vc, chunk)
+		// path.Send boxes each cell by value, so the scratch slice is
+		// free for reuse as soon as the drain loop ends.
+		cells, err := atm.SegmentInto(a.cellScratch[:0], vc, chunk)
 		if err != nil {
 			panic("nic: segment: " + err.Error())
 		}
+		a.cellScratch = cells[:0]
 		var lastTx = a.eng.Now()
 		for ci := range cells {
 			cell := cells[ci]
@@ -201,14 +190,16 @@ func (a *SimATM) Send(t *mts.Thread, m *transport.Message) {
 			a.outBufs.Signal()
 		}
 	}
+	wire.PutBuf(cb)
+	wire.PutBuf(wb)
 }
 
 // SetPreFilter installs a unit filter that runs before data reassembly.
 func (a *SimATM) SetPreFilter(f func(netsim.Unit) bool) { a.preFilter = f }
 
 // deliverCell runs per arriving cell: the i960 reassembles AAL5 frames per
-// VC; completed frames are appended to the message under construction, and
-// a finished message goes up to the handler.
+// VC; completed frames feed the VC's chunk assembler, and a finished
+// message goes up to the handler.
 func (a *SimATM) deliverCell(u netsim.Unit) {
 	if a.preFilter != nil && a.preFilter(u) {
 		return
@@ -236,39 +227,27 @@ func (a *SimATM) deliverCell(u netsim.Unit) {
 		a.rxDropped++
 		return
 	}
-	if len(chunk) < chunkHeaderSize {
-		panic("nic: chunk shorter than header")
+	asm := a.asm[vc]
+	if asm == nil {
+		asm = &wire.Assembler{}
+		a.asm[vc] = asm
 	}
-	seq := binary.BigEndian.Uint32(chunk[0:])
-	idx := binary.BigEndian.Uint16(chunk[4:])
-	last := chunk[6] == 1
-	if cur, ok := a.rxSeq[vc]; ok && cur != seq {
-		// A frame of the previous message was lost: abandon the partial
-		// so the new message assembles cleanly.
-		a.resetRx(vc)
-		a.rxDropped++
-	}
-	if _, ok := a.rxSeq[vc]; !ok {
-		if idx != 0 {
-			// Mid-message start: the head frame was dropped; skip the rest.
-			return
+	before := asm.Dropped()
+	msgWire, done, err := asm.Push(chunk)
+	// Partials the assembler abandoned (sequence change, index gap) are
+	// messages this layer lost; the error-control tier recovers them.
+	a.rxDropped += asm.Dropped() - before
+	if err != nil {
+		if err == wire.ErrChunkShort {
+			panic("nic: chunk shorter than header")
 		}
-		a.rxSeq[vc] = seq
-	}
-	if idx != a.rxNext[vc] {
-		// Interior frame lost: the message cannot be completed.
-		a.resetRx(vc)
-		a.rxDropped++
+		// Stray or gap chunk: the message cannot be completed here.
 		return
 	}
-	a.rxNext[vc] = idx + 1
-	a.rxParts[vc] = append(a.rxParts[vc], chunk[chunkHeaderSize:]...)
-	if !last {
+	if !done {
 		return
 	}
-	wire := a.rxParts[vc]
-	a.resetRx(vc)
-	m, err := transport.Unmarshal(wire)
+	m, err := transport.Unmarshal(msgWire)
 	if err != nil {
 		// An interior frame was lost and the tail still arrived: the
 		// message is unrecoverable at this layer.
@@ -279,12 +258,6 @@ func (a *SimATM) deliverCell(u netsim.Unit) {
 		panic(fmt.Sprintf("nic: host %d has no handler", a.host))
 	}
 	a.handler(m)
-}
-
-func (a *SimATM) resetRx(vc atm.VC) {
-	delete(a.rxParts, vc)
-	delete(a.rxSeq, vc)
-	delete(a.rxNext, vc)
 }
 
 // RxDropped reports frames and messages discarded by fault injection or

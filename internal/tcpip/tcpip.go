@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Checksum computes the Internet checksum (RFC 1071) over b: the ones'
@@ -64,12 +65,10 @@ func (c CostModel) RecvCost(n int) time.Duration {
 	return c.PerMessage + time.Duration(n)*c.PerByteRecv
 }
 
-// Frames returns how many wire frames an n-byte message needs.
+// Frames returns how many wire frames an n-byte message needs. The
+// fragmentation extents themselves come from the shared wire codec.
 func (c CostModel) Frames(n int) int {
-	if n == 0 {
-		return 1
-	}
-	return (n + c.MTU - 1) / c.MTU
+	return wire.Fragments(n, c.MTU)
 }
 
 // msgFrag is the unit payload for one TCP segment of a message.
@@ -77,7 +76,9 @@ type msgFrag struct {
 	src  transport.ProcID
 	seq  uint32
 	last bool
-	wire []byte // full marshalled message, carried on the last fragment
+	// buf holds the full marshalled message on the last fragment; the
+	// pooled buffer is recycled by deliverFrame once decoded.
+	buf *wire.Buf
 }
 
 // SimTCP is a transport.Endpoint that charges the cost model on the local
@@ -136,37 +137,32 @@ func (e *SimTCP) Send(t *mts.Thread, m *transport.Message) {
 	}
 	e.seq++
 	m.Seq = e.seq
-	wire := m.Marshal()
+	wb := wire.GetBuf(m.WireSize())
+	wb.B = m.MarshalAppend(wb.B)
 	e.msgsSent++
 	e.bytesSent += int64(len(m.Data))
 
 	// Protocol processing occupies this CPU (checksum + copy, Figure 3a).
-	e.node.Compute(t, e.cost.SendCost(len(wire)))
+	e.node.Compute(t, e.cost.SendCost(len(wb.B)))
 
 	path := e.net.PathFor(e.host)
 	var lastTx = e.eng.Now()
-	remaining := len(wire)
-	off := 0
-	for remaining > 0 || off == 0 {
-		n := remaining
-		if n > e.cost.MTU {
-			n = e.cost.MTU
-		}
-		frag := &msgFrag{src: m.From, seq: m.Seq, last: n == remaining}
+	frames := wire.Fragments(len(wb.B), e.cost.MTU)
+	for i := 0; i < frames; i++ {
+		lo, hi := wire.Extent(len(wb.B), e.cost.MTU, i)
+		frag := &msgFrag{src: m.From, seq: m.Seq, last: i == frames-1}
 		if frag.last {
-			frag.wire = wire
+			frag.buf = wb
 		}
 		// Classical-IP-over-ATM: on switched topologies the IP frames ride
 		// the host-pair VC; the Ethernet medium ignores the field.
 		lastTx = path.Send(netsim.Unit{
-			WireBytes: n + e.cost.FrameOverhead,
+			WireBytes: hi - lo + e.cost.FrameOverhead,
 			SrcHost:   e.host,
 			DstHost:   int(m.To),
 			VC:        netsim.VCFor(e.host, int(m.To)),
 			Payload:   frag,
 		})
-		off += n
-		remaining -= n
 	}
 	// Park until the socket buffer drains (last frame on the wire).
 	if lastTx > e.eng.Now() {
@@ -187,7 +183,10 @@ func (e *SimTCP) deliverFrame(u netsim.Unit) {
 	if !frag.last {
 		return
 	}
-	m, err := transport.Unmarshal(frag.wire)
+	// Unmarshal copies the payload out, so the marshal buffer recycles
+	// here — the explicit end of its send → wire → deliver lifetime.
+	m, err := transport.Unmarshal(frag.buf.B)
+	wire.PutBuf(frag.buf)
 	if err != nil {
 		panic("tcpip: corrupt wire message: " + err.Error())
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/mts"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // TCPNetwork is the real-mode Normal Speed Mode carrier (paper Figure 6's
@@ -110,13 +111,15 @@ func (e *TCPEndpoint) Send(t *mts.Thread, m *transport.Message) {
 	e.seq++
 	m.Seq = e.seq
 	e.mu.Unlock()
-	wire := m.Marshal()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(wire)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		panic("tcpip: write: " + err.Error())
-	}
-	if _, err := conn.Write(wire); err != nil {
+	// Length prefix and message share one pooled buffer and one write
+	// (no Nagle-provoking split), recycled once the kernel has the bytes.
+	wb := wire.GetBuf(4 + m.WireSize())
+	wb.B = append(wb.B, 0, 0, 0, 0)
+	wb.B = m.MarshalAppend(wb.B)
+	binary.BigEndian.PutUint32(wb.B[:4], uint32(len(wb.B)-4))
+	_, err = conn.Write(wb.B)
+	wire.PutBuf(wb)
+	if err != nil {
 		panic("tcpip: write: " + err.Error())
 	}
 }
@@ -185,11 +188,16 @@ func (e *TCPEndpoint) readLoop(conn *net.TCPConn) {
 		if n > 64<<20 {
 			return // implausible frame; drop the stream
 		}
-		wire := make([]byte, n)
-		if _, err := io.ReadFull(conn, wire); err != nil {
+		// The frame buffer recycles as soon as Unmarshal has copied the
+		// payload out for delivery.
+		fb := wire.GetBuf(int(n))
+		fb.B = fb.B[:n]
+		if _, err := io.ReadFull(conn, fb.B); err != nil {
+			wire.PutBuf(fb)
 			return
 		}
-		m, err := transport.Unmarshal(wire)
+		m, err := transport.Unmarshal(fb.B)
+		wire.PutBuf(fb)
 		if err != nil {
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/mts"
+	"repro/internal/wire"
 )
 
 // Mem is the real-mode in-process transport: a full mesh between endpoints
@@ -79,6 +80,7 @@ func (n *Mem) Attach(proc ProcID, rt *mts.Runtime) *MemEndpoint {
 		panic(fmt.Sprintf("transport: duplicate endpoint for proc %d", proc))
 	}
 	ep := &MemEndpoint{net: n, proc: proc, rt: rt}
+	ep.drainFn = ep.drainOne
 	n.endpoints[proc] = ep
 	return ep
 }
@@ -91,6 +93,15 @@ type MemEndpoint struct {
 
 	mu      sync.Mutex
 	handler Handler
+
+	// inbox queues marshalled frames awaiting entry into the scheduler
+	// domain; one Post of drainFn is outstanding per frame. The pre-bound
+	// func and head-index queue keep the steady-state delivery path free
+	// of per-message closure and slice allocations.
+	inmu    sync.Mutex
+	inbox   [][]byte
+	inHead  int
+	drainFn func()
 }
 
 // Proc implements Endpoint.
@@ -130,24 +141,47 @@ func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
 		return
 	}
 	// Roundtrip through the codec: the receiver gets an independent copy,
-	// exactly as if the bytes crossed a wire.
-	wire := m.Marshal()
-	deliver := func() {
-		got, err := Unmarshal(wire)
-		if err != nil {
-			panic("transport: self-produced message failed to decode: " + err.Error())
-		}
-		dst.mu.Lock()
-		h := dst.handler
-		dst.mu.Unlock()
-		if h == nil {
-			panic(fmt.Sprintf("transport: proc %d has no handler", dst.proc))
-		}
-		h(got)
-	}
+	// exactly as if the bytes crossed a wire. The marshal is the single
+	// copy on this path — ownership of the buffer transfers to the
+	// receiver, which decodes it zero-copy (UnmarshalOwned).
+	frame := m.MarshalAppend(make([]byte, 0, m.WireSize()))
 	if latency > 0 {
-		time.AfterFunc(latency, func() { dst.rt.Post(deliver) })
+		time.AfterFunc(latency, func() { dst.enqueue(frame) })
 		return
 	}
-	dst.rt.Post(deliver)
+	dst.enqueue(frame)
+}
+
+// enqueue hands one marshalled frame to the endpoint and schedules a drain
+// in its scheduler domain.
+func (e *MemEndpoint) enqueue(frame []byte) {
+	e.inmu.Lock()
+	e.inbox = append(e.inbox, frame)
+	e.inmu.Unlock()
+	e.rt.Post(e.drainFn)
+}
+
+// drainOne delivers the oldest queued frame. It runs in the scheduler
+// domain; exactly one call is posted per enqueued frame.
+func (e *MemEndpoint) drainOne() {
+	e.inmu.Lock()
+	frame := e.inbox[e.inHead]
+	e.inbox[e.inHead] = nil
+	e.inHead++
+	if e.inHead == len(e.inbox) {
+		e.inbox = e.inbox[:0]
+		e.inHead = 0
+	}
+	e.inmu.Unlock()
+	got, err := wire.UnmarshalOwned(frame)
+	if err != nil {
+		panic("transport: self-produced message failed to decode: " + err.Error())
+	}
+	e.mu.Lock()
+	h := e.handler
+	e.mu.Unlock()
+	if h == nil {
+		panic(fmt.Sprintf("transport: proc %d has no handler", e.proc))
+	}
+	h(got)
 }

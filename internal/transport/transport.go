@@ -1,6 +1,8 @@
 // Package transport defines the message-level carrier interface that both
 // message-passing systems in this repo (the p4 baseline and NCS itself) run
-// over, plus the wire codec for message headers.
+// over. The wire format itself — header codec, chunk framing, pooled
+// buffers — lives in internal/wire; this package re-exports the message
+// types so carriers and the NCS core share one vocabulary.
 //
 // Implementations:
 //   - Mem (this package): real-mode in-process transport with optional
@@ -15,89 +17,30 @@
 package transport
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-
 	"repro/internal/mts"
+	"repro/internal/wire"
 )
 
 // ProcID identifies a process (one per simulated/emulated workstation).
-type ProcID int
+type ProcID = wire.ProcID
 
-// HostAny is the wildcard process value in receive matching (the paper's -1).
-const Any = -1
+// Any is the wildcard process value in receive matching (the paper's -1).
+const Any = wire.Any
 
-// Message is one NCS/p4 message. Thread fields use the paper's addressing:
-// a message goes from (FromProc, FromThread) to (ToProc, ToThread). The p4
-// baseline leaves thread fields zero and uses Tag as the p4 message type.
-type Message struct {
-	From       ProcID
-	To         ProcID
-	FromThread int
-	ToThread   int
-	Tag        int
-	// Seq is the transport-level sequence, owned by the endpoint.
-	Seq uint32
-	// ESeq is the end-to-end sequence used by NCS error control (go-back-N);
-	// endpoints carry it untouched.
-	ESeq uint32
-	Data []byte
-}
-
-func (m *Message) String() string {
-	return fmt.Sprintf("msg{%d.%d->%d.%d tag=%d seq=%d %dB}",
-		m.From, m.FromThread, m.To, m.ToThread, m.Tag, m.Seq, len(m.Data))
-}
+// Message is one NCS/p4 message; see wire.Message for the field contract.
+type Message = wire.Message
 
 // HeaderSize is the encoded header length in bytes.
-const HeaderSize = 32
+const HeaderSize = wire.HeaderSize
 
 // ErrShortMessage reports a truncated wire message.
-var ErrShortMessage = errors.New("transport: short message")
+var ErrShortMessage = wire.ErrShortMessage
 
 // ErrMagic reports a wire message with a bad magic number.
-var ErrMagic = errors.New("transport: bad magic")
+var ErrMagic = wire.ErrMagic
 
-const wireMagic = 0x4E435331 // "NCS1"
-
-// Marshal encodes the message (header + payload) for the wire.
-func (m *Message) Marshal() []byte {
-	out := make([]byte, HeaderSize+len(m.Data))
-	binary.BigEndian.PutUint32(out[0:], wireMagic)
-	binary.BigEndian.PutUint32(out[4:], uint32(int32(m.From)))
-	binary.BigEndian.PutUint32(out[8:], uint32(int32(m.To)))
-	binary.BigEndian.PutUint32(out[12:], uint32(int32(m.FromThread)))
-	binary.BigEndian.PutUint32(out[16:], uint32(int32(m.ToThread)))
-	binary.BigEndian.PutUint32(out[20:], uint32(int32(m.Tag)))
-	binary.BigEndian.PutUint32(out[24:], m.Seq)
-	binary.BigEndian.PutUint32(out[28:], m.ESeq)
-	copy(out[HeaderSize:], m.Data)
-	return out
-}
-
-// Unmarshal decodes a wire message.
-func Unmarshal(b []byte) (*Message, error) {
-	if len(b) < HeaderSize {
-		return nil, ErrShortMessage
-	}
-	if binary.BigEndian.Uint32(b[0:]) != wireMagic {
-		return nil, ErrMagic
-	}
-	m := &Message{
-		From:       ProcID(int32(binary.BigEndian.Uint32(b[4:]))),
-		To:         ProcID(int32(binary.BigEndian.Uint32(b[8:]))),
-		FromThread: int(int32(binary.BigEndian.Uint32(b[12:]))),
-		ToThread:   int(int32(binary.BigEndian.Uint32(b[16:]))),
-		Tag:        int(int32(binary.BigEndian.Uint32(b[20:]))),
-		Seq:        binary.BigEndian.Uint32(b[24:]),
-		ESeq:       binary.BigEndian.Uint32(b[28:]),
-	}
-	if len(b) > HeaderSize {
-		m.Data = append([]byte(nil), b[HeaderSize:]...)
-	}
-	return m, nil
-}
+// Unmarshal decodes a wire message, copying the payload out of b.
+func Unmarshal(b []byte) (*Message, error) { return wire.Unmarshal(b) }
 
 // Handler consumes a delivered message. It runs in the destination
 // process's scheduler domain.
@@ -110,7 +53,8 @@ type Endpoint interface {
 	// Send transmits m. It may park the calling thread until the message
 	// is accepted by the network (transport-specific: wire serialization
 	// for the TCP model, NIC hand-off for the ATM model, immediate for
-	// Mem). m.From must equal Proc().
+	// Mem). m.From must equal Proc(). The message is serialized before
+	// Send returns, so the caller may reuse m and m.Data afterwards.
 	Send(t *mts.Thread, m *Message)
 	// SetHandler installs the delivery callback. Must be set before any
 	// peer sends.

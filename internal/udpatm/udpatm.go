@@ -4,14 +4,16 @@
 // loopback interface — one datagram per AAL5 frame, datagram payload being
 // the frame's cells laid end to end.
 //
-// This substitutes for the paper's FORE SBA-200 + ATM switch fabric (see
-// DESIGN.md §2): the cell framing, HEC protection, per-VC reassembly and
-// CRC-32 verification all execute exactly as they would on the adapter;
-// only the physical layer is a UDP socket instead of a TAXI transceiver.
+// This substitutes for the paper's FORE SBA-200 + ATM switch fabric: the
+// cell framing, HEC protection, per-VC reassembly and CRC-32 verification
+// all execute exactly as they would on the adapter; only the physical
+// layer is a UDP socket instead of a TAXI transceiver. Chunk framing and
+// message reassembly are delegated to internal/wire, and the send path
+// runs entirely on pooled buffers recycled once the kernel has copied each
+// datagram.
 package udpatm
 
 import (
-	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/mts"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // VCFor mirrors internal/netsim's conventional VC numbering so traces from
@@ -27,14 +30,10 @@ func VCFor(src, dst transport.ProcID) atm.VC {
 	return atm.VC{VPI: 0, VCI: uint16(64 + int(src)*256 + int(dst))}
 }
 
-// chunkHeaderSize prefixes each AAL5 frame: message sequence (4 bytes),
-// chunk index (2), flags (1: last), reserved (1). Matches internal/nic.
-const chunkHeaderSize = 8
-
 // MaxChunk is the message payload carried per AAL5 frame. The frame's
 // cells (MaxChunk/48 · 53 bytes ≈ 9 KB) stay well under the UDP datagram
 // limit.
-const MaxChunk = 8192 - chunkHeaderSize
+const MaxChunk = 8192 - wire.ChunkHeaderSize
 
 // Network is a mesh of UDP endpoints on loopback.
 type Network struct {
@@ -58,9 +57,11 @@ type Endpoint struct {
 	handler transport.Handler
 	seq     uint32
 
-	// Receive-side state, touched only by the reader goroutine.
-	reasm   map[atm.VC]*atm.Reassembler
-	rxParts map[atm.VC][]byte
+	// Receive-side state, touched only by the reader goroutine: per-VC
+	// cell reassembly (AAL5 frames) feeding per-VC chunk assembly
+	// (messages). Both tiers reuse grow-once buffers.
+	reasm map[atm.VC]*atm.Reassembler
+	asm   map[atm.VC]*wire.Assembler
 
 	cellsSent int64
 	cellsRecv int64
@@ -76,14 +77,21 @@ func (n *Network) Attach(proc transport.ProcID, rt *mts.Runtime) (*Endpoint, err
 	if err != nil {
 		return nil, fmt.Errorf("udpatm: listen: %w", err)
 	}
+	// A large message bursts its AAL5 frames back to back (a 1 MB send is
+	// ~130 × 9 KB datagrams); size the socket buffers so the kernel can
+	// absorb the burst instead of silently dropping frames. The kernel
+	// caps these at net.core.{r,w}mem_max — beyond that the fabric is
+	// genuinely lossy, which is what NCS error control exists for.
+	conn.SetReadBuffer(8 << 20)
+	conn.SetWriteBuffer(4 << 20)
 	e := &Endpoint{
-		net:     n,
-		proc:    proc,
-		rt:      rt,
-		conn:    conn,
-		reasm:   make(map[atm.VC]*atm.Reassembler),
-		rxParts: make(map[atm.VC][]byte),
-		closed:  make(chan struct{}),
+		net:    n,
+		proc:   proc,
+		rt:     rt,
+		conn:   conn,
+		reasm:  make(map[atm.VC]*atm.Reassembler),
+		asm:    make(map[atm.VC]*wire.Assembler),
+		closed: make(chan struct{}),
 	}
 	n.mu.Lock()
 	if _, dup := n.endpoints[proc]; dup {
@@ -140,7 +148,9 @@ func (e *Endpoint) addrOf(p transport.ProcID) *net.UDPAddr {
 // Send implements transport.Endpoint: the message is chunked, each chunk
 // segmented into AAL5 cells, and each frame's cells written as one UDP
 // datagram. Loopback writes complete quickly, so the calling thread is not
-// parked; real network pacing would park here.
+// parked; real network pacing would park here. The marshal, chunk, and
+// datagram buffers all come from the wire pool and are recycled as soon as
+// the kernel has copied the final datagram.
 func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
 	if m.From != e.proc {
 		panic(fmt.Sprintf("udpatm: proc %d sending as %d", e.proc, m.From))
@@ -154,40 +164,29 @@ func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
 	m.Seq = e.seq
 	e.mu.Unlock()
 
-	wire := m.Marshal()
+	wb := wire.GetBuf(m.WireSize())
+	wb.B = m.MarshalAppend(wb.B)
 	vc := VCFor(m.From, m.To)
-	total := len(wire)
-	nChunks := (total + MaxChunk - 1) / MaxChunk
-	if nChunks == 0 {
-		nChunks = 1
-	}
-	for i := 0; i < nChunks; i++ {
-		lo := i * MaxChunk
-		hi := lo + MaxChunk
-		if hi > total {
-			hi = total
+	ck := wire.NewChunker(wb.B, m.Seq, MaxChunk)
+	cb := wire.GetBuf(wire.ChunkHeaderSize + MaxChunk)
+	db := wire.GetBuf(atm.CellCount(wire.ChunkHeaderSize+MaxChunk) * atm.CellSize)
+	for {
+		chunk, ok := ck.Next(cb.B[:0])
+		if !ok {
+			break
 		}
-		chunk := make([]byte, chunkHeaderSize+hi-lo)
-		binary.BigEndian.PutUint32(chunk[0:], m.Seq)
-		binary.BigEndian.PutUint16(chunk[4:], uint16(i))
-		if i == nChunks-1 {
-			chunk[6] = 1
-		}
-		copy(chunk[chunkHeaderSize:], wire[lo:hi])
-
-		cells, err := atm.Segment(vc, chunk)
+		dgram, err := atm.AppendCells(db.B[:0], vc, chunk)
 		if err != nil {
 			panic("udpatm: segment: " + err.Error())
 		}
-		dgram := make([]byte, 0, len(cells)*atm.CellSize)
-		for ci := range cells {
-			dgram = append(dgram, cells[ci].Bytes()...)
-		}
-		e.cellsSent += int64(len(cells))
+		e.cellsSent += int64(len(dgram) / atm.CellSize)
 		if _, err := e.conn.WriteToUDP(dgram, dst); err != nil {
 			panic("udpatm: write: " + err.Error())
 		}
 	}
+	wire.PutBuf(db)
+	wire.PutBuf(cb)
+	wire.PutBuf(wb)
 }
 
 // readLoop receives datagrams, validates and reassembles cells, and posts
@@ -220,6 +219,9 @@ func (e *Endpoint) readLoop() {
 	}
 }
 
+// pushCell runs per validated cell: AAL5 reassembly per VC, then chunk
+// assembly per VC; a completed message is decoded (copying its payload out
+// of the reused assembly buffer) and posted into the runtime.
 func (e *Endpoint) pushCell(cell atm.Cell) {
 	vc := cell.Header.VC()
 	r := e.reasm[vc]
@@ -235,18 +237,20 @@ func (e *Endpoint) pushCell(cell atm.Cell) {
 	if !done {
 		return
 	}
-	if len(chunk) < chunkHeaderSize {
+	a := e.asm[vc]
+	if a == nil {
+		a = &wire.Assembler{}
+		e.asm[vc] = a
+	}
+	msgWire, done, err := a.Push(chunk)
+	if err != nil {
 		e.badCells++
 		return
 	}
-	last := chunk[6] == 1
-	e.rxParts[vc] = append(e.rxParts[vc], chunk[chunkHeaderSize:]...)
-	if !last {
+	if !done {
 		return
 	}
-	wire := e.rxParts[vc]
-	delete(e.rxParts, vc)
-	m, err := transport.Unmarshal(wire)
+	m, err := transport.Unmarshal(msgWire)
 	if err != nil {
 		e.badCells++
 		return

@@ -1,0 +1,145 @@
+// Package wire owns NCS message framing end-to-end: the message header
+// codec, the chunk framing that splits a marshalled message across AAL5
+// frames (or MTU-sized TCP segments), and the pooled buffers the hot path
+// runs on. It is the single wire-format authority in the tree — every
+// carrier (transport.Mem, tcpip.SimTCP, tcpip.TCPEndpoint, nic.SimATM,
+// udpatm.UDP) delegates framing, segmentation extents, and reassembly to
+// this package instead of keeping a private copy of the byte layout.
+//
+// The package reproduces the paper's host-overhead argument in Go terms
+// (Yadav, Reddy, Hariri, Fox; HPDC '95): NCS wins on the ATM path by
+// eliminating per-message copies and buffer management. Accordingly the
+// codec is append-style throughout — MarshalAppend and Chunker.Next write
+// into caller-provided buffers, Assembler reuses one grow-once buffer per
+// stream, and GetBuf/PutBuf recycle backing arrays through sync.Pool size
+// classes — so a steady-state send → segment → reassemble → deliver cycle
+// allocates (almost) nothing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ProcID identifies a process (one per simulated/emulated workstation).
+type ProcID int
+
+// Any is the wildcard process value in receive matching (the paper's -1).
+const Any = -1
+
+// Message is one NCS/p4 message. Thread fields use the paper's addressing:
+// a message goes from (FromProc, FromThread) to (ToProc, ToThread). The p4
+// baseline leaves thread fields zero and uses Tag as the p4 message type.
+type Message struct {
+	From       ProcID
+	To         ProcID
+	FromThread int
+	ToThread   int
+	Tag        int
+	// Seq is the transport-level sequence, owned by the endpoint.
+	Seq uint32
+	// ESeq is the end-to-end sequence used by NCS error control (go-back-N);
+	// endpoints carry it untouched.
+	ESeq uint32
+	Data []byte
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d.%d->%d.%d tag=%d seq=%d %dB}",
+		m.From, m.FromThread, m.To, m.ToThread, m.Tag, m.Seq, len(m.Data))
+}
+
+// HeaderSize is the encoded header length in bytes.
+const HeaderSize = 32
+
+// ErrShortMessage reports a truncated wire message.
+var ErrShortMessage = errors.New("wire: short message")
+
+// ErrMagic reports a wire message with a bad magic number.
+var ErrMagic = errors.New("wire: bad magic")
+
+const wireMagic = 0x4E435331 // "NCS1"
+
+// WireSize returns the encoded length of the message (header + payload).
+func (m *Message) WireSize() int { return HeaderSize + len(m.Data) }
+
+// MarshalAppend encodes the message (header + payload) onto dst and returns
+// the extended slice. Callers that size dst with WireSize (typically via
+// GetBuf) get an allocation-free encode.
+func (m *Message) MarshalAppend(dst []byte) []byte {
+	var hdr [HeaderSize]byte
+	off := len(dst)
+	dst = append(dst, hdr[:]...)
+	h := dst[off:]
+	binary.BigEndian.PutUint32(h[0:], wireMagic)
+	binary.BigEndian.PutUint32(h[4:], uint32(int32(m.From)))
+	binary.BigEndian.PutUint32(h[8:], uint32(int32(m.To)))
+	binary.BigEndian.PutUint32(h[12:], uint32(int32(m.FromThread)))
+	binary.BigEndian.PutUint32(h[16:], uint32(int32(m.ToThread)))
+	binary.BigEndian.PutUint32(h[20:], uint32(int32(m.Tag)))
+	binary.BigEndian.PutUint32(h[24:], m.Seq)
+	binary.BigEndian.PutUint32(h[28:], m.ESeq)
+	return append(dst, m.Data...)
+}
+
+// Marshal encodes the message into a fresh buffer: MarshalAppend into an
+// exactly-sized allocation. Hot paths should prefer MarshalAppend with a
+// pooled buffer.
+func (m *Message) Marshal() []byte {
+	return m.MarshalAppend(make([]byte, 0, m.WireSize()))
+}
+
+// decodeHeader fills m's header fields from b, which the caller has
+// validated to be at least HeaderSize long with a good magic.
+func decodeHeader(m *Message, b []byte) {
+	m.From = ProcID(int32(binary.BigEndian.Uint32(b[4:])))
+	m.To = ProcID(int32(binary.BigEndian.Uint32(b[8:])))
+	m.FromThread = int(int32(binary.BigEndian.Uint32(b[12:])))
+	m.ToThread = int(int32(binary.BigEndian.Uint32(b[16:])))
+	m.Tag = int(int32(binary.BigEndian.Uint32(b[20:])))
+	m.Seq = binary.BigEndian.Uint32(b[24:])
+	m.ESeq = binary.BigEndian.Uint32(b[28:])
+}
+
+func checkWire(b []byte) error {
+	if len(b) < HeaderSize {
+		return ErrShortMessage
+	}
+	if binary.BigEndian.Uint32(b[0:]) != wireMagic {
+		return ErrMagic
+	}
+	return nil
+}
+
+// Unmarshal decodes a wire message. Data is copied out of b, so the caller
+// remains free to reuse or recycle b — the right call when b is a pooled or
+// per-stream reassembly buffer.
+func Unmarshal(b []byte) (*Message, error) {
+	if err := checkWire(b); err != nil {
+		return nil, err
+	}
+	m := &Message{}
+	decodeHeader(m, b)
+	if len(b) > HeaderSize {
+		m.Data = append([]byte(nil), b[HeaderSize:]...)
+	}
+	return m, nil
+}
+
+// UnmarshalOwned decodes a wire message whose buffer ownership transfers to
+// the decoded message: Data aliases b[HeaderSize:] with no copy. The caller
+// must not reuse, modify, or recycle b afterwards. This is the zero-copy
+// delivery path for carriers whose receive buffer is already an independent
+// per-message allocation (the in-process Mem mesh, the real-TCP reader).
+func UnmarshalOwned(b []byte) (*Message, error) {
+	if err := checkWire(b); err != nil {
+		return nil, err
+	}
+	m := &Message{}
+	decodeHeader(m, b)
+	if len(b) > HeaderSize {
+		m.Data = b[HeaderSize:]
+	}
+	return m, nil
+}

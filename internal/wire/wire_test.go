@@ -1,0 +1,294 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageCodecRoundtrip(t *testing.T) {
+	m := &Message{
+		From: 3, To: 7, FromThread: 1, ToThread: 0, Tag: 42, Seq: 99, ESeq: 7,
+		Data: []byte("payload bytes"),
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 3 || got.To != 7 || got.FromThread != 1 || got.ToThread != 0 ||
+		got.Tag != 42 || got.Seq != 99 || got.ESeq != 7 || !bytes.Equal(got.Data, m.Data) {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestMarshalAppendPreservesPrefix(t *testing.T) {
+	m := &Message{From: 1, To: 2, Data: []byte("abc")}
+	prefix := []byte{0xDE, 0xAD}
+	out := m.MarshalAppend(append([]byte(nil), prefix...))
+	if !bytes.Equal(out[:2], prefix) {
+		t.Fatalf("prefix clobbered: % x", out[:4])
+	}
+	got, err := Unmarshal(out[2:])
+	if err != nil || string(got.Data) != "abc" {
+		t.Fatalf("decode after prefix: %v %+v", err, got)
+	}
+}
+
+func TestUnmarshalOwnedAliases(t *testing.T) {
+	m := &Message{From: 1, To: 2, Data: []byte("alias me")}
+	b := m.Marshal()
+	got, err := UnmarshalOwned(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[HeaderSize] = 'X'
+	if got.Data[0] != 'X' {
+		t.Fatal("UnmarshalOwned copied instead of aliasing")
+	}
+	cp, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[HeaderSize] = 'Y'
+	if cp.Data[0] != 'X' {
+		t.Fatal("Unmarshal aliased instead of copying")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderSize-1)); err != ErrShortMessage {
+		t.Fatalf("short: err = %v", err)
+	}
+	bad := (&Message{From: 1, To: 2}).Marshal()
+	bad[0] ^= 0xFF
+	if _, err := Unmarshal(bad); err != ErrMagic {
+		t.Fatalf("magic: err = %v", err)
+	}
+}
+
+func TestChunkHeaderRoundtrip(t *testing.T) {
+	f := func(seq uint32, idx uint16, last bool) bool {
+		h := ChunkHeader{Seq: seq, Index: idx, Last: last}
+		b := AppendChunkHeader(nil, h)
+		got, err := ParseChunkHeader(b)
+		return err == nil && got == h && len(b) == ChunkHeaderSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseChunkHeader(make([]byte, ChunkHeaderSize-1)); err != ErrChunkShort {
+		t.Fatalf("short chunk: err = %v", err)
+	}
+}
+
+func TestFragmentExtents(t *testing.T) {
+	for _, tc := range []struct{ n, max, want int }{
+		{0, 100, 1}, {1, 100, 1}, {100, 100, 1}, {101, 100, 2}, {250, 100, 3},
+	} {
+		if got := Fragments(tc.n, tc.max); got != tc.want {
+			t.Errorf("Fragments(%d,%d) = %d, want %d", tc.n, tc.max, got, tc.want)
+		}
+	}
+	// Extents must tile [0, n) exactly.
+	n, max := 250, 100
+	off := 0
+	for i := 0; i < Fragments(n, max); i++ {
+		lo, hi := Extent(n, max, i)
+		if lo != off || hi <= lo && n > 0 && i < Fragments(n, max)-1 {
+			t.Fatalf("extent %d = [%d,%d), want lo %d", i, lo, hi, off)
+		}
+		off = hi
+	}
+	if off != n {
+		t.Fatalf("extents cover %d of %d bytes", off, n)
+	}
+}
+
+// chunkAndCollect fragments wire into chunk frames (each an independent
+// copy, as if read off separate AAL5 frames).
+func chunkAndCollect(wire []byte, seq uint32, maxPayload int) [][]byte {
+	ck := NewChunker(wire, seq, maxPayload)
+	var chunks [][]byte
+	for {
+		c, ok := ck.Next(nil)
+		if !ok {
+			break
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks
+}
+
+// TestChunkRoundtripProperty: fragment → reassemble in order reproduces
+// the original bytes for arbitrary payloads and chunk sizes.
+func TestChunkRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(10000)
+		payload := make([]byte, n)
+		rng.Read(payload)
+		maxPayload := 1 + rng.Intn(4096)
+		seq := rng.Uint32()
+
+		chunks := chunkAndCollect(payload, seq, maxPayload)
+		if len(chunks) != Fragments(n, maxPayload) {
+			t.Fatalf("trial %d: %d chunks, want %d", trial, len(chunks), Fragments(n, maxPayload))
+		}
+		var a Assembler
+		for i, c := range chunks {
+			msg, done, err := a.Push(c)
+			if err != nil {
+				t.Fatalf("trial %d chunk %d: %v", trial, i, err)
+			}
+			if done != (i == len(chunks)-1) {
+				t.Fatalf("trial %d chunk %d: done = %v", trial, i, done)
+			}
+			if done && !bytes.Equal(msg, payload) {
+				t.Fatalf("trial %d: reassembly mismatch (%d vs %d bytes)", trial, len(msg), len(payload))
+			}
+		}
+	}
+}
+
+// TestChunkReorderNeverCorrupts: delivering chunks in a shuffled order must
+// never complete a message with wrong bytes — the assembler either
+// reassembles the exact original (identity shuffle) or drops.
+func TestChunkReorderNeverCorrupts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		payload := make([]byte, 1000+rng.Intn(4000))
+		rng.Read(payload)
+		chunks := chunkAndCollect(payload, rng.Uint32(), 256)
+		perm := rng.Perm(len(chunks))
+		identity := true
+		for i, p := range perm {
+			if i != p {
+				identity = false
+			}
+		}
+		var a Assembler
+		completed := false
+		for _, pi := range perm {
+			msg, done, _ := a.Push(chunks[pi])
+			if done {
+				completed = true
+				if !bytes.Equal(msg, payload) {
+					t.Fatalf("trial %d: corrupted reassembly surfaced", trial)
+				}
+			}
+		}
+		if completed && !identity {
+			t.Fatalf("trial %d: out-of-order delivery completed a message", trial)
+		}
+		if identity && !completed {
+			t.Fatalf("trial %d: in-order delivery failed to complete", trial)
+		}
+	}
+}
+
+// TestAssemblerInterleavedSequences: a new sequence arriving mid-message
+// abandons the stale partial and assembles the new message cleanly.
+func TestAssemblerInterleavedSequences(t *testing.T) {
+	first := chunkAndCollect(bytes.Repeat([]byte{1}, 600), 1, 256)
+	second := chunkAndCollect(bytes.Repeat([]byte{2}, 600), 2, 256)
+
+	var a Assembler
+	if _, done, err := a.Push(first[0]); done || err != nil {
+		t.Fatalf("head of first: done=%v err=%v", done, err)
+	}
+	// First message's tail is lost; the second message arrives complete.
+	for i, c := range second {
+		msg, done, err := a.Push(c)
+		if err != nil {
+			t.Fatalf("second chunk %d: %v", i, err)
+		}
+		if i == len(second)-1 {
+			if !done || !bytes.Equal(msg, bytes.Repeat([]byte{2}, 600)) {
+				t.Fatal("second message did not assemble cleanly")
+			}
+		}
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped())
+	}
+}
+
+// TestAssemblerStrayAndGap covers head-loss and interior-loss signalling.
+func TestAssemblerStrayAndGap(t *testing.T) {
+	chunks := chunkAndCollect(make([]byte, 600), 5, 256)
+	var a Assembler
+	if _, _, err := a.Push(chunks[1]); err != ErrChunkStray {
+		t.Fatalf("stray err = %v", err)
+	}
+	if a.Dropped() != 0 {
+		t.Fatalf("stray counted as drop: %d", a.Dropped())
+	}
+	if _, _, err := a.Push(chunks[0]); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if _, _, err := a.Push(chunks[2]); err != ErrChunkGap {
+		t.Fatalf("gap err = %v", err)
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped())
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	b := GetBuf(1000)
+	if cap(b.B) < 1000 || len(b.B) != 0 {
+		t.Fatalf("GetBuf(1000): len=%d cap=%d", len(b.B), cap(b.B))
+	}
+	b.B = append(b.B, 1, 2, 3)
+	PutBuf(b)
+	b2 := GetBuf(1000)
+	if b2 != b {
+		t.Skip("pool evicted between Put and Get (GC ran); nothing to assert")
+	}
+	if len(b2.B) != 0 {
+		t.Fatal("recycled buffer not reset to zero length")
+	}
+}
+
+// TestPutBufDropsOversized: a buffer beyond the largest size class must
+// not enter the pool, or a rare huge message would pin its backing array
+// behind every subsequent top-class GetBuf.
+func TestPutBufDropsOversized(t *testing.T) {
+	big := &Buf{B: make([]byte, 0, (1<<16)+1)}
+	PutBuf(big)
+	got := GetBuf(1 << 16)
+	if got == big {
+		t.Fatal("oversized buffer was pooled; should have been dropped")
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the full framing hot path — marshal,
+// chunk, reassemble — at zero steady-state allocations per 4 KB message
+// when run on pooled buffers.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	m := &Message{From: 0, To: 1, Seq: 1, Data: make([]byte, 4096)}
+	var a Assembler
+	wb := GetBuf(m.WireSize())
+	cb := GetBuf(1024)
+	defer PutBuf(wb)
+	defer PutBuf(cb)
+	run := func() {
+		wb.B = m.MarshalAppend(wb.B[:0])
+		ck := NewChunker(wb.B, m.Seq, 1024-ChunkHeaderSize)
+		for {
+			chunk, ok := ck.Next(cb.B[:0])
+			if !ok {
+				break
+			}
+			if _, _, err := a.Push(chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Seq++
+	}
+	run() // warm the assembler's grow-once buffer
+	if avg := testing.AllocsPerRun(100, run); avg > 0 {
+		t.Fatalf("framing hot path allocates %.1f/op, want 0", avg)
+	}
+}
