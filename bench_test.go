@@ -1,7 +1,10 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -9,6 +12,7 @@ import (
 	"repro/internal/apps/jpegcodec"
 	"repro/internal/atm"
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/hostif"
 	"repro/internal/mts"
 	"repro/internal/transport"
@@ -168,6 +172,102 @@ func BenchmarkWANSweep(b *testing.B) {
 		rows = bench.WANSweep()
 	}
 	b.ReportMetric(rows[len(rows)-1].Improvement, "impr_pct_at_15ms")
+}
+
+// BenchmarkChannelThroughput measures the channel layer end to end: one
+// NCS process pair over the Mem transport runs two concurrent channels —
+// a high-priority "video" class and a window-flow "bulk" class — each
+// carrying b.N messages. Besides ns/op it reports per-channel throughput
+// and writes BENCH_channels.json so the perf trajectory of the channel
+// layer is tracked run over run (CI's bench smoke job uploads it).
+func BenchmarkChannelThroughput(b *testing.B) {
+	const videoSize, bulkSize = 4 << 10, 32 << 10
+	mem := transport.NewMem()
+	mk := func(id core.ProcID) *core.Proc {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("bench%d", id), IdleTimeout: time.Minute})
+		return core.New(core.Config{ID: id, RT: rt, Endpoint: mem.Attach(id, rt)})
+	}
+	p0, p1 := mk(0), mk(1)
+	video0 := p0.Open(1, core.ChannelConfig{ID: 1, Priority: 7})
+	bulk0 := p0.Open(1, core.ChannelConfig{ID: 2, Flow: core.NewWindowFlow(8)})
+	video1 := p1.Open(0, core.ChannelConfig{ID: 1, Priority: 7})
+	bulk1 := p1.Open(0, core.ChannelConfig{ID: 2, Flow: core.NewWindowFlow(8)})
+
+	videoBuf := make([]byte, videoSize)
+	bulkBuf := make([]byte, bulkSize)
+	p0.TCreate("video", mts.PrioDefault, func(t *core.Thread) {
+		for i := 0; i < b.N; i++ {
+			video0.Send(t, 0, videoBuf)
+		}
+	})
+	p0.TCreate("bulk", mts.PrioDefault, func(t *core.Thread) {
+		for i := 0; i < b.N; i++ {
+			bulk0.Send(t, 1, bulkBuf)
+		}
+	})
+	p1.TCreate("vrecv", mts.PrioDefault, func(t *core.Thread) {
+		for i := 0; i < b.N; i++ {
+			video1.Recv(t, core.Any)
+		}
+	})
+	p1.TCreate("brecv", mts.PrioDefault, func(t *core.Thread) {
+		for i := 0; i < b.N; i++ {
+			bulk1.Recv(t, core.Any)
+		}
+	})
+
+	b.SetBytes(videoSize + bulkSize)
+	b.ResetTimer()
+	start := time.Now()
+	done := make(chan struct{}, 2)
+	for _, p := range []*core.Proc{p0, p1} {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	<-done
+	<-done
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	secs := elapsed.Seconds()
+	vMBps := float64(video0.Stats().BytesSent) / 1e6 / secs
+	kMBps := float64(bulk0.Stats().BytesSent) / 1e6 / secs
+	b.ReportMetric(vMBps, "video_MB/s")
+	b.ReportMetric(kMBps, "bulk_MB/s")
+
+	type chanRow struct {
+		ID    int     `json:"id"`
+		Class string  `json:"class"`
+		Prio  int     `json:"priority"`
+		Flow  string  `json:"flow"`
+		Msgs  int64   `json:"msgs"`
+		Bytes int64   `json:"bytes"`
+		MBps  float64 `json:"mb_per_s"`
+	}
+	artifact := struct {
+		Bench     string    `json:"bench"`
+		GoOS      string    `json:"goos"`
+		GoArch    string    `json:"goarch"`
+		N         int       `json:"n"`
+		ElapsedNs int64     `json:"elapsed_ns"`
+		Channels  []chanRow `json:"channels"`
+	}{
+		Bench: "BenchmarkChannelThroughput", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		N: b.N, ElapsedNs: elapsed.Nanoseconds(),
+		Channels: []chanRow{
+			{ID: 1, Class: "video", Prio: 7, Flow: video0.Stats().Flow,
+				Msgs: video0.Stats().Sent, Bytes: video0.Stats().BytesSent, MBps: vMBps},
+			{ID: 2, Class: "bulk", Prio: 0, Flow: bulk0.Stats().Flow,
+				Msgs: bulk0.Stats().Sent, Bytes: bulk0.Stats().BytesSent, MBps: kMBps},
+		},
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_channels.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // --- Micro-benchmarks of the substrates (real work, real ns/op) ---------

@@ -3,7 +3,13 @@
 // NPAC, Syracuse University, 1995): NCS, the NYNET Communication System.
 //
 // The implementation lives under internal/ — see README.md for a guided
-// tour, the package map, and build/test instructions. bench_test.go in
+// tour, the package map, and build/test instructions. The heart is
+// internal/core: user-level threads plus thread-addressed message passing,
+// organized around per-channel QoS — the paper's NCS_init(flow, error)
+// configures the default channel, and Proc.Open creates further channels,
+// each with its own flow control, error control, and priority, mapped to
+// its own ATM virtual circuit in the cell-level carriers. bench_test.go in
 // this directory regenerates every table and figure of the paper's
-// evaluation via `go test -bench`.
+// evaluation via `go test -bench`, plus a per-channel throughput
+// benchmark that emits BENCH_channels.json.
 package repro

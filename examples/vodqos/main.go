@@ -1,9 +1,18 @@
-// Video-on-demand QOS demo (the paper's Figure 5): two applications share
-// one NCS fabric with *different flow-control threads*. The VOD stream
-// selects rate-based flow control (steady pacing for playback); the bulk
-// parallel application selects window-based flow control (throughput with
-// bounded outstanding data). The demo shows the stream's inter-frame jitter
-// staying tight while the bulk transfer proceeds.
+// Video-on-demand QOS demo (the paper's Figure 5): one NCS process pair
+// runs two *channels*, each with its own flow-control and error-control
+// discipline — the per-application QoS selection the paper's NCS_init
+// makes, here made per traffic class on a single fabric:
+//
+//   - channel 1 "video": rate-paced (token bucket at the playback rate),
+//     high priority — steady cadence for the viewer.
+//   - channel 2 "bulk": window flow + go-back-N — reliable throughput for
+//     the parallel application sharing the pair, over a transport that
+//     drops 10% of *its* traffic (fault injection aimed at the bulk class
+//     only).
+//
+// The demo shows the stream's inter-frame jitter staying tight and its
+// delivery untouched while go-back-N is busy recovering the bulk stream
+// next to it — channel isolation end-to-end.
 //
 //	go run ./examples/vodqos
 package main
@@ -22,53 +31,70 @@ func main() {
 		frames    = 60
 		frameSize = 16 * 1024
 		frameRate = 30.0 // frames/second
+		bulkMsgs  = 64
+		bulkSize  = 256 * 1024
 	)
 
 	mem := transport.NewMem()
-	newProc := func(id int, flow core.FlowControl) *core.Proc {
+	// Break only the bulk channel's data: drops on it must not disturb the
+	// video channel sharing the process pair. (Credits ride untouched —
+	// window flow relies on the error-control tier only for data.)
+	mem.SetDropRate(0.10, 1995)
+	mem.SetDropClass(func(m *transport.Message) bool { return m.Channel == 2 && m.Tag >= 0 })
+
+	newProc := func(id int) *core.Proc {
 		rt := mts.New(mts.Config{Name: fmt.Sprintf("proc%d", id), IdleTimeout: 60 * time.Second})
 		return core.New(core.Config{
 			ID:       core.ProcID(id),
 			RT:       rt,
 			Endpoint: mem.Attach(transport.ProcID(id), rt),
-			Flow:     flow,
 		})
 	}
+	server := newProc(0)
+	client := newProc(1)
+	server.OnException(func(error) {}) // trailing-ack give-up after client exit
 
-	// Proc 0: VOD server, rate-paced at exactly the playback rate.
-	vodServer := newProc(0, core.NewRateFlow(frameRate*frameSize, frameSize))
-	// Proc 1: viewer. Proc 2: bulk sender (window flow). Proc 3: bulk sink
-	// — the sink runs the same window discipline because credits are
-	// returned by the *receiver's* flow-control thread.
-	viewer := newProc(1, nil)
-	bulkSrc := newProc(2, core.NewWindowFlow(4))
-	bulkDst := newProc(3, core.NewWindowFlow(4))
+	gbn := func() core.ErrorControl { return core.NewGoBackN(8, 20*time.Millisecond) }
+	video0 := server.Open(1, core.ChannelConfig{
+		ID: 1, Priority: 7,
+		Flow: core.NewRateFlow(frameRate*frameSize, frameSize),
+	})
+	bulk0 := server.Open(1, core.ChannelConfig{
+		ID: 2, Priority: 0,
+		Flow: core.NewWindowFlow(4), Error: gbn(),
+	})
+	video1 := client.Open(0, core.ChannelConfig{ID: 1, Priority: 7})
+	bulk1 := client.Open(0, core.ChannelConfig{
+		ID: 2, Priority: 0,
+		Flow: core.NewWindowFlow(4), Error: gbn(),
+	})
 
 	var arrivals []time.Time
-	vodServer.TCreate("stream", mts.PrioDefault, func(t *core.Thread) {
+	server.TCreate("stream", mts.PrioDefault, func(t *core.Thread) {
 		frame := make([]byte, frameSize)
 		for i := 0; i < frames; i++ {
-			t.Send(0, 1, frame)
+			video0.Send(t, 0, frame)
 		}
 	})
-	viewer.TCreate("play", mts.PrioDefault, func(t *core.Thread) {
+	server.TCreate("bulk", mts.PrioDefault, func(t *core.Thread) {
+		blob := make([]byte, bulkSize)
+		for i := 0; i < bulkMsgs; i++ {
+			bulk0.Send(t, 1, blob)
+		}
+	})
+	client.TCreate("play", mts.PrioDefault, func(t *core.Thread) {
 		for i := 0; i < frames; i++ {
-			t.Recv(core.Any, 0)
+			video1.Recv(t, core.Any)
 			arrivals = append(arrivals, time.Now())
 		}
 	})
-	bulkSrc.TCreate("bulk", mts.PrioDefault, func(t *core.Thread) {
-		for i := 0; i < 64; i++ {
-			t.Send(0, 3, make([]byte, 256*1024))
-		}
-	})
-	bulkDst.TCreate("sink", mts.PrioDefault, func(t *core.Thread) {
-		for i := 0; i < 64; i++ {
-			t.Recv(core.Any, 2)
+	client.TCreate("sink", mts.PrioDefault, func(t *core.Thread) {
+		for i := 0; i < bulkMsgs; i++ {
+			bulk1.Recv(t, core.Any)
 		}
 	})
 
-	procs := []*core.Proc{vodServer, viewer, bulkSrc, bulkDst}
+	procs := []*core.Proc{server, client}
 	start := time.Now()
 	done := make(chan struct{}, len(procs))
 	for _, p := range procs {
@@ -95,8 +121,22 @@ func main() {
 	mean := sum / time.Duration(len(arrivals)-1)
 	rate := frameRate // shed the untyped constant so the division is runtime float math
 	wantGap := time.Duration(float64(time.Second) / rate)
-	fmt.Printf("VOD stream: %d frames at %.0f fps target while 16 MB of bulk traffic shared the fabric\n", frames, frameRate)
+
+	printStats := func(name string, s core.ChannelStats) {
+		fmt.Printf("  channel %-5s flow=%-6s error=%-9s sent %3d msgs / %5.1f KB, delivered %3d msgs / %5.1f KB\n",
+			name, s.Flow, s.Error, s.Sent, float64(s.BytesSent)/1024, s.Received, float64(s.BytesReceived)/1024)
+	}
+	fmt.Printf("VOD stream: %d frames at %.0f fps target while %d MB of lossy bulk traffic shared the proc pair\n",
+		frames, frameRate, bulkMsgs*bulkSize>>20)
 	fmt.Printf("  total %v, mean inter-frame gap %v (target %v), worst gap %v\n",
 		elapsed.Round(time.Millisecond), mean.Round(time.Millisecond), wantGap.Round(time.Millisecond), worst.Round(time.Millisecond))
-	fmt.Println("rate-based flow control held the stream cadence; window flow bounded the bulk sender")
+	fmt.Println("server side:")
+	printStats("video", video0.Stats())
+	printStats("bulk", bulk0.Stats())
+	fmt.Println("client side:")
+	printStats("video", video1.Stats())
+	printStats("bulk", bulk1.Stats())
+	fmt.Printf("bulk recovery: %d messages dropped by the fabric, %d retransmissions, video untouched\n",
+		mem.Dropped(), bulk0.Error().(*core.GoBackN).Retransmissions())
+	fmt.Println("rate flow held the stream cadence; window+go-back-N carried the bulk class on its own channel")
 }

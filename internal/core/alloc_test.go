@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+// TestWindowedFlowAllocs pins steady-state heap allocations of the full
+// NCS windowed-flow path — Send through admission, Mem wire crossing,
+// delivery, credit return, and credit consumption — so regressions in the
+// control-message path (the old putUint32 allocated a fresh slice per
+// credit/ack) or the request/waiter freelists fail loudly.
+//
+// Both procs share one runtime so the measurement covers exactly one
+// send/recv/credit cycle per round with no cross-goroutine noise beyond
+// the Mem Post hand-off. The Mem wire crossing itself inherently allocates
+// (one marshal frame + one decoded Message per direction); everything the
+// core adds on top must come from the freelists.
+func TestWindowedFlowAllocs(t *testing.T) {
+	mem := transport.NewMem()
+	rt := mts.New(mts.Config{Name: "alloc", IdleTimeout: 5 * time.Second})
+	mk := func(id ProcID) *Proc {
+		return New(Config{
+			ID:       id,
+			RT:       rt,
+			Endpoint: mem.Attach(id, rt),
+			Flow:     NewWindowFlow(2),
+		})
+	}
+	pa, pb := mk(0), mk(1)
+
+	payload := make([]byte, 4096)
+	cmds := 0
+	stop := false
+	rounds := 0
+	roundDone := make(chan struct{})
+	runDone := make(chan struct{})
+
+	var sender *Thread
+	sender = pa.TCreate("sender", mts.PrioDefault, func(th *Thread) {
+		for {
+			for cmds == 0 && !stop {
+				th.mt.Park("await cmd")
+			}
+			if stop {
+				// Zero-length sentinel releases the receiver.
+				th.Send(0, 1, nil)
+				return
+			}
+			cmds--
+			th.Send(0, 1, payload)
+		}
+	})
+	pb.TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		for {
+			data, _ := th.Recv(Any, 0)
+			if len(data) == 0 {
+				return // sentinel: shut down
+			}
+			rounds++
+			roundDone <- struct{}{}
+		}
+	})
+	go func() { rt.Run(); close(runDone) }()
+
+	kick := func() {
+		cmds++
+		if sender.mt.State() == mts.StateBlocked && sender.mt.BlockReason() == "await cmd" {
+			rt.Unblock(sender.mt, false)
+		}
+	}
+	// Warm the freelists and the window machinery.
+	for i := 0; i < 4; i++ {
+		rt.Post(kick)
+		<-roundDone
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		rt.Post(kick)
+		<-roundDone
+	})
+
+	// Tear down: the sender emits the sentinel and exits, the receiver
+	// consumes it and exits, both procs close their system threads.
+	rt.Post(func() {
+		stop = true
+		if sender.mt.State() == mts.StateBlocked && sender.mt.BlockReason() == "await cmd" {
+			rt.Unblock(sender.mt, false)
+		}
+	})
+	<-runDone
+
+	t.Logf("windowed-flow 4KB round: %.1f allocs/op over %d rounds", avg, rounds)
+	// Baseline with pooled control messages and wire append-helpers: ~6
+	// (two Mem frame+Message pairs — data and credit — plus scheduler
+	// hand-off). The pre-refactor path allocated a fresh credit Message,
+	// its 4-byte payload, and a sendReq per ack on top of that.
+	if avg > 9 {
+		t.Fatalf("windowed-flow round allocates %.1f/op, want <= 9", avg)
+	}
+}

@@ -70,17 +70,13 @@ func (t *Thread) Barrier(group []ProcID) {
 		p.bar.arrivals = 0
 		// Release everyone.
 		for _, id := range group[1:] {
-			p.enqueueControl(&transport.Message{
-				From: p.cfg.ID, To: id, Tag: tagBarrierRel, Data: putUint32(gen),
-			})
+			p.sendCtrl(id, 0, tagBarrierRel, gen, true)
 		}
 		return
 	}
 
 	// Non-root: announce arrival, then wait for the release.
-	p.enqueueControl(&transport.Message{
-		From: p.cfg.ID, To: root, Tag: tagBarrier, Data: putUint32(gen),
-	})
+	p.sendCtrl(root, 0, tagBarrier, gen, true)
 	if p.bar.released[gen] {
 		delete(p.bar.released, gen)
 		return
@@ -98,7 +94,7 @@ func (t *Thread) Barrier(group []ProcID) {
 // onMessage handles barrier control traffic in the receive system thread.
 func (b *barrierState) onMessage(p *Proc, m *transport.Message) {
 	b.lazyInit()
-	gen := getUint32(m.Data)
+	gen := ctrlPayload(m)
 	switch m.Tag {
 	case tagBarrier:
 		// Arrival at the root. If the root's thread hasn't entered this

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/list"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file is the channel layer: the paper's claim (§3–§4) that NCS
+// supplies *application-specific* communication services, made concrete. A
+// Channel is an open (local proc → peer proc, class) pipe carrying its own
+// flow-control discipline, error-control discipline, and priority — the
+// per-application QoS selection of Figure 5, where a Video-on-Demand stream
+// picks rate pacing while a parallel solver next to it picks windowed,
+// reliable transfer. Each channel rides its own ATM virtual circuit in the
+// cell-level carriers (the channel ID becomes the VPI), so a rate-class
+// channel is policed by the network on its own VC.
+//
+// Thread.Send/Recv keep the paper's original single-protocol semantics by
+// running on the default channel (ID 0), which every process pair has
+// implicitly and which inherits the disciplines passed to core.New — the
+// paper's NCS_init(flow, error) maps onto per-channel configuration with
+// the process-wide arguments acting as the default channel's template.
+
+// ChannelID identifies a channel between a process pair; 0 is the default
+// channel.
+type ChannelID = wire.ChannelID
+
+// MaxChannelID bounds explicit channel IDs: the ATM carriers map the
+// channel ID onto the 8-bit VPI so each channel rides a distinct VC.
+const MaxChannelID = 255
+
+// NumChannelPriorities is the number of channel priority levels. Higher
+// values drain first; the default channel runs at priority 0 (lowest), and
+// NCS-internal control traffic (credits, acks, retransmissions) drains
+// above every data priority so windows can always open.
+const NumChannelPriorities = 8
+
+// numSendLevels is the internal queue level count: one level per channel
+// priority plus the top control level.
+const numSendLevels = NumChannelPriorities + 1
+
+// ctrlLevel is the queue level for control traffic and raw
+// retransmissions.
+const ctrlLevel = NumChannelPriorities
+
+// ChannelConfig selects a channel's QoS: the per-application choice the
+// paper's NCS_init makes process-wide, here made per traffic class.
+type ChannelConfig struct {
+	// ID names the channel; both ends of a process pair must open the same
+	// ID. 1..MaxChannelID (0 is the implicit default channel).
+	ID ChannelID
+	// Priority orders send/receive servicing across channels of this
+	// process: 0..NumChannelPriorities-1, higher values drained first.
+	Priority int
+	// Flow is the channel's flow-control discipline (nil = NoFlowControl).
+	// Instances hold per-channel state and must not be shared.
+	Flow FlowControl
+	// Error is the channel's error-control discipline (nil =
+	// NoErrorControl). Instances hold per-channel state and must not be
+	// shared.
+	Error ErrorControl
+}
+
+// chanKey indexes a Proc's channel table.
+type chanKey struct {
+	peer ProcID
+	id   ChannelID
+}
+
+// Channel is one open (local proc → peer proc, class) pipe with its own
+// flow control, error control, priority, and counters.
+type Channel struct {
+	p        *Proc
+	peer     ProcID
+	id       ChannelID
+	priority int
+	flow     FlowControl
+	errc     ErrorControl
+
+	sent, received           int64
+	bytesSent, bytesReceived int64
+}
+
+// ChannelStats is a channel's traffic snapshot.
+type ChannelStats struct {
+	// Sent counts data messages transmitted (first transmissions only;
+	// retransmissions are reported by the error-control discipline).
+	Sent int64
+	// Received counts data messages delivered by the peer on this channel.
+	Received int64
+	// BytesSent and BytesReceived total the payload bytes of the above.
+	BytesSent, BytesReceived int64
+	// Flow and Error name the channel's disciplines.
+	Flow, Error string
+}
+
+// Open creates a channel to peer with its own QoS: per-channel flow
+// control, error control, and priority. Both ends must open the same ID
+// (with compatible disciplines) before traffic flows on it. Call before
+// Start, or from a thread of this process.
+func (p *Proc) Open(peer ProcID, cfg ChannelConfig) *Channel {
+	if cfg.ID == 0 || cfg.ID > MaxChannelID {
+		panic(fmt.Sprintf("core: channel ID must be 1..%d (0 is the default channel)", MaxChannelID))
+	}
+	if cfg.Priority < 0 || cfg.Priority >= NumChannelPriorities {
+		panic(fmt.Sprintf("core: channel priority must be 0..%d", NumChannelPriorities-1))
+	}
+	key := chanKey{peer: peer, id: cfg.ID}
+	if _, dup := p.channels[key]; dup {
+		panic(fmt.Sprintf("core(proc %d): channel %d to proc %d already open", p.cfg.ID, cfg.ID, peer))
+	}
+	fc := cfg.Flow
+	if fc == nil {
+		fc = NoFlowControl{}
+	}
+	ec := cfg.Error
+	if ec == nil {
+		ec = NoErrorControl{}
+	}
+	return p.addChannel(key, cfg.Priority, fc, ec)
+}
+
+// DefaultChannel returns the implicit channel 0 toward peer, creating it on
+// first use from the process-wide Config.Flow/Config.Error templates.
+func (p *Proc) DefaultChannel(peer ProcID) *Channel {
+	if c, ok := p.channels[chanKey{peer: peer}]; ok {
+		return c
+	}
+	fc := p.cfg.Flow
+	if fc == nil {
+		fc = NoFlowControl{}
+	}
+	ec := p.cfg.Error
+	if ec == nil {
+		ec = NoErrorControl{}
+	}
+	return p.addChannel(chanKey{peer: peer}, 0, fc.fork(), ec.fork())
+}
+
+func (p *Proc) addChannel(key chanKey, prio int, fc FlowControl, ec ErrorControl) *Channel {
+	c := &Channel{p: p, peer: key.peer, id: key.id, priority: prio, flow: fc, errc: ec}
+	p.channels[key] = c
+	fc.init(c)
+	ec.init(c)
+	if p.closing {
+		// Opened after the user threads finished (unusual, but legal from
+		// an exception handler): give the disciplines their shutdown signal
+		// immediately so the process can still terminate.
+		fc.shutdown()
+		ec.shutdown()
+	}
+	return c
+}
+
+// lookupChannel returns the channel a message belongs to. The default
+// channel (id 0) is created on first reference — any peer may talk to us
+// unannounced on it — while a nonzero channel must have been opened
+// explicitly: ok is false for one nobody opened.
+func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
+	if c, ok := p.channels[chanKey{peer: peer, id: id}]; ok {
+		return c, true
+	}
+	if id == 0 {
+		return p.DefaultChannel(peer), true
+	}
+	return nil, false
+}
+
+// ID returns the channel identifier (0 for the default channel).
+func (c *Channel) ID() ChannelID { return c.id }
+
+// Peer returns the remote process the channel connects to.
+func (c *Channel) Peer() ProcID { return c.peer }
+
+// Priority returns the channel's drain priority.
+func (c *Channel) Priority() int { return c.priority }
+
+// Flow returns the channel's flow-control discipline (for stats and tests).
+func (c *Channel) Flow() FlowControl { return c.flow }
+
+// Error returns the channel's error-control discipline.
+func (c *Channel) Error() ErrorControl { return c.errc }
+
+// Stats returns the channel's traffic counters.
+func (c *Channel) Stats() ChannelStats {
+	return ChannelStats{
+		Sent: c.sent, Received: c.received,
+		BytesSent: c.bytesSent, BytesReceived: c.bytesReceived,
+		Flow: c.flow.Name(), Error: c.errc.Name(),
+	}
+}
+
+// Send transmits data to the channel's peer, addressed to toThread, from
+// the calling thread t: NCS_send on an explicit channel. Like Thread.Send
+// it parks only the calling thread.
+func (c *Channel) Send(t *Thread, toThread int, data []byte) {
+	c.SendTagged(t, 0, toThread, data)
+}
+
+// SendTagged is Send with a user message tag (>= 0).
+func (c *Channel) SendTagged(t *Thread, tag, toThread int, data []byte) {
+	if tag < 0 {
+		panic("core: negative tags are reserved")
+	}
+	if t.proc != c.p {
+		panic("core: thread sending on another process's channel")
+	}
+	c.p.sendOn(c, t, &transport.Message{
+		From:       c.p.cfg.ID,
+		To:         c.peer,
+		FromThread: t.idx,
+		ToThread:   toThread,
+		Tag:        tag,
+		Channel:    c.id,
+		Data:       data,
+	})
+}
+
+// Recv receives the next message the peer sent on this channel to the
+// calling thread, from fromThread (or Any). Only the calling thread
+// blocks.
+func (c *Channel) Recv(t *Thread, fromThread int) ([]byte, Addr) {
+	if t.proc != c.p {
+		panic("core: thread receiving on another process's channel")
+	}
+	data, addr, _ := t.recvOn(c.id, Any, fromThread, c.peer)
+	return data, addr
+}
+
+// TryRecv is the non-blocking variant of Recv.
+func (c *Channel) TryRecv(t *Thread, fromThread int) (data []byte, from Addr, ok bool) {
+	if t.proc != c.p {
+		panic("core: thread receiving on another process's channel")
+	}
+	return t.tryRecvOn(c.id, fromThread, c.peer)
+}
+
+// sendOn queues m on channel c for the send system thread and parks the
+// calling thread until the transfer is handed to the network — the shared
+// body of Thread.Send and Channel.Send.
+func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
+	p.traceThread(t, trace.Idle)
+	req := p.getReq()
+	req.m = m
+	req.ch = c
+	req.caller = t.mt
+	p.enqueueSend(req)
+	t.mt.Park("ncs send")
+	p.traceThread(t, trace.Compute)
+	p.sent++
+}
+
+// ---------------------------------------------------------------------------
+// Priority queues
+
+// prioQueue fans one logical queue into per-priority head-indexed FIFOs:
+// push files an item under its level, pop drains the highest occupied
+// level first. This is how the send and receive system threads service
+// higher-priority channels ahead of bulk traffic.
+type prioQueue[T any] struct {
+	lvl [numSendLevels]list.FIFO[T]
+	n   int
+}
+
+func (q *prioQueue[T]) push(level int, v T) {
+	q.lvl[level].Push(v)
+	q.n++
+}
+
+func (q *prioQueue[T]) empty() bool { return q.n == 0 }
+
+func (q *prioQueue[T]) pop() T {
+	for i := numSendLevels - 1; i >= 0; i-- {
+		if q.lvl[i].Size() > 0 {
+			q.n--
+			return q.lvl[i].Pop()
+		}
+	}
+	panic("core: pop from empty priority queue")
+}
+
+func (q *prioQueue[T]) prependLevel(level int, vs []T) {
+	q.lvl[level].Prepend(vs)
+	q.n += len(vs)
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mts"
+	"repro/internal/transport"
+)
+
+// TestTwoChannelsTwoDisciplines is the tentpole in miniature: one process
+// pair runs a rate-paced channel and a windowed go-back-N channel
+// concurrently, each with its own state machine and counters.
+func TestTwoChannelsTwoDisciplines(t *testing.T) {
+	mem := transport.NewMem()
+	procs := realCluster(t, 2, mem, nil)
+	const (
+		frames    = 8
+		frameSize = 2000
+		bulkMsgs  = 6
+		bulkSize  = 5000
+	)
+	// 200 KB/s with a one-frame bucket paces ~10ms/frame.
+	video0 := procs[0].Open(1, ChannelConfig{ID: 1, Priority: 7, Flow: NewRateFlow(200e3, frameSize)})
+	bulk0 := procs[0].Open(1, ChannelConfig{ID: 2, Flow: NewWindowFlow(2), Error: NewGoBackN(4, 50*time.Millisecond)})
+	video1 := procs[1].Open(0, ChannelConfig{ID: 1, Priority: 7})
+	bulk1 := procs[1].Open(0, ChannelConfig{ID: 2, Flow: NewWindowFlow(2), Error: NewGoBackN(4, 50*time.Millisecond)})
+
+	procs[0].TCreate("video", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < frames; k++ {
+			video0.Send(th, 0, make([]byte, frameSize))
+		}
+	})
+	procs[0].TCreate("bulk", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < bulkMsgs; k++ {
+			bulk0.Send(th, 1, make([]byte, bulkSize))
+		}
+	})
+	var gotFrames, gotBulk int
+	procs[1].TCreate("viewer", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < frames; k++ {
+			data, from := video1.Recv(th, Any)
+			if len(data) != frameSize || from.Proc != 0 {
+				t.Errorf("frame %d: %d bytes from %+v", k, len(data), from)
+			}
+			gotFrames++
+		}
+	})
+	procs[1].TCreate("sink", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < bulkMsgs; k++ {
+			data, _ := bulk1.Recv(th, Any)
+			if len(data) != bulkSize {
+				t.Errorf("bulk %d: %d bytes", k, len(data))
+			}
+			gotBulk++
+		}
+	})
+	start := time.Now()
+	runReal(procs)
+	elapsed := time.Since(start)
+
+	if gotFrames != frames || gotBulk != bulkMsgs {
+		t.Fatalf("delivered %d/%d frames, %d/%d bulk", gotFrames, frames, gotBulk, bulkMsgs)
+	}
+	// The rate channel must actually pace: 8 frames of 2000 B at 200 KB/s
+	// with a one-frame head start needs >= ~70 ms.
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("run finished in %v: rate channel did not pace", elapsed)
+	}
+	vs, bs := video0.Stats(), bulk0.Stats()
+	if vs.Sent != frames || vs.BytesSent != frames*frameSize {
+		t.Fatalf("video stats: %+v", vs)
+	}
+	if bs.Sent != bulkMsgs || bs.BytesSent != bulkMsgs*bulkSize {
+		t.Fatalf("bulk stats: %+v", bs)
+	}
+	if vs.Flow != "rate" || bs.Error != "go-back-n" {
+		t.Fatalf("discipline names: video=%+v bulk=%+v", vs, bs)
+	}
+	rv, rb := video1.Stats(), bulk1.Stats()
+	if rv.Received != frames || rb.Received != bulkMsgs || rb.BytesReceived != bulkMsgs*bulkSize {
+		t.Fatalf("receiver stats: video=%+v bulk=%+v", rv, rb)
+	}
+}
+
+// TestChannelTrafficInvisibleToDefaultRecv: channel matching is exact, so
+// a wildcard Thread.Recv never steals an explicit channel's message.
+func TestChannelTrafficInvisibleToDefaultRecv(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 3})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 3})
+	var gotDefault, gotChannel []byte
+	procs[0].TCreate("send", mts.PrioDefault, func(th *Thread) {
+		ch0.Send(th, 0, []byte("on the channel"))
+		th.Send(0, 1, []byte("on default"))
+	})
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		// Wildcard default Recv first: it must match the default-channel
+		// message even though the channel message arrived earlier.
+		gotDefault, _ = th.Recv(Any, Any)
+		gotChannel, _ = ch1.Recv(th, Any)
+	})
+	eng.Run()
+	if string(gotDefault) != "on default" || string(gotChannel) != "on the channel" {
+		t.Fatalf("default=%q channel=%q", gotDefault, gotChannel)
+	}
+}
+
+// TestChannelPriorityDrainOrder: while the send system thread is busy
+// draining a large transfer, a high-priority channel's queued message must
+// reach the wire before a low-priority one queued earlier.
+func TestChannelPriorityDrainOrder(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	low0 := procs[0].Open(1, ChannelConfig{ID: 1, Priority: 0})
+	high0 := procs[0].Open(1, ChannelConfig{ID: 2, Priority: 7})
+	low1 := procs[1].Open(0, ChannelConfig{ID: 1, Priority: 0})
+	high1 := procs[1].Open(0, ChannelConfig{ID: 2, Priority: 7})
+
+	// Creation order fixes run order at equal thread priority: the bulk
+	// default send occupies the wire first, then "low" enqueues before
+	// "high" does.
+	procs[0].TCreate("bulk", mts.PrioDefault, func(th *Thread) {
+		th.Send(0, 1, make([]byte, 512*1024))
+	})
+	procs[0].TCreate("low", mts.PrioDefault, func(th *Thread) {
+		low0.Send(th, 1, []byte("low")) // receiver thread indices: drain=0, rlow=1, rhigh=2
+	})
+	procs[0].TCreate("high", mts.PrioDefault, func(th *Thread) {
+		high0.Send(th, 2, []byte("high"))
+	})
+
+	var order []string
+	procs[1].TCreate("drain", mts.PrioDefault, func(th *Thread) {
+		th.Recv(Any, Any) // the bulk message
+	})
+	procs[1].TCreate("rlow", mts.PrioDefault, func(th *Thread) {
+		low1.Recv(th, Any)
+		order = append(order, "low")
+	})
+	procs[1].TCreate("rhigh", mts.PrioDefault, func(th *Thread) {
+		high1.Recv(th, Any)
+		order = append(order, "high")
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != "high" {
+		t.Fatalf("arrival order = %v, want high first", order)
+	}
+}
+
+// TestUnopenedChannelRaisesException: data arriving on a channel the
+// receiver never opened is dropped through the exception handler instead
+// of being misdelivered.
+func TestUnopenedChannelRaisesException(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	ch := procs[0].Open(1, ChannelConfig{ID: 9})
+	var caught error
+	procs[1].OnException(func(err error) { caught = err })
+	procs[0].TCreate("send", mts.PrioDefault, func(th *Thread) {
+		ch.Send(th, 0, []byte("into the void"))
+	})
+	procs[1].TCreate("alive", mts.PrioDefault, func(th *Thread) {
+		// Stay alive long enough for the message to arrive.
+		th.Compute(50*time.Millisecond, nil)
+	})
+	eng.Run()
+	if caught == nil {
+		t.Fatal("no exception for data on an unopened channel")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	mem := transport.NewMem()
+	procs := realCluster(t, 1, mem, nil)
+	p := procs[0]
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("id 0", func() { p.Open(1, ChannelConfig{ID: 0}) })
+	mustPanic("id too big", func() { p.Open(1, ChannelConfig{ID: MaxChannelID + 1}) })
+	mustPanic("priority range", func() { p.Open(1, ChannelConfig{ID: 1, Priority: NumChannelPriorities}) })
+	p.Open(1, ChannelConfig{ID: 1})
+	mustPanic("duplicate", func() { p.Open(1, ChannelConfig{ID: 1}) })
+	shared := NewWindowFlow(2)
+	p.Open(1, ChannelConfig{ID: 2, Flow: shared})
+	mustPanic("shared discipline", func() { p.Open(1, ChannelConfig{ID: 3, Flow: shared}) })
+	// Drain the runtime so the leftover system threads don't trip the
+	// deadlock detector in later tests.
+	p.TCreate("noop", mts.PrioDefault, func(*Thread) {})
+	runReal(procs)
+}
+
+// TestPrioQueueOrder pins the queue discipline the system threads dispatch
+// by: higher levels drain first, FIFO within a level, prepend jumps the
+// line of its own level only.
+func TestPrioQueueOrder(t *testing.T) {
+	var q prioQueue[int]
+	q.push(0, 1)
+	q.push(3, 2)
+	q.push(0, 3)
+	q.push(ctrlLevel, 4)
+	q.push(3, 5)
+	want := []int{4, 2, 5, 1, 3}
+	for i, w := range want {
+		if q.empty() {
+			t.Fatalf("empty after %d pops", i)
+		}
+		if got := q.pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not empty")
+	}
+
+	q.push(2, 10)
+	q.push(2, 11)
+	q.prependLevel(2, []int{8, 9})
+	for _, w := range []int{8, 9, 10, 11} {
+		if got := q.pop(); got != w {
+			t.Fatalf("after prepend: got %d, want %d", got, w)
+		}
+	}
+}

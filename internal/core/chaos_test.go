@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mts"
+	"repro/internal/transport"
 )
 
 // TestQuickChaosTraffic drives random all-to-all traffic through simulated
@@ -100,5 +101,86 @@ func TestQuickChaosTraffic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChannelIsolationUnderLoss asserts the tentpole property of the
+// channel layer: two channels with different error control share one lossy
+// Mem transport, fault injection is aimed at the bulk channel only (data
+// and acks alike), and the drops must never stall or reorder the video
+// channel — its frames arrive complete and strictly in order while
+// go-back-N is busy recovering the bulk stream.
+func TestChannelIsolationUnderLoss(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1995} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const (
+				videoID ChannelID = 1
+				bulkID  ChannelID = 2
+				frames            = 25
+				bulkN             = 20
+			)
+			mem := transport.NewMem()
+			mem.SetDropRate(0.3, seed)
+			mem.SetDropClass(func(m *transport.Message) bool { return m.Channel == bulkID })
+			procs := realCluster(t, 2, mem, nil)
+			procs[0].OnException(func(error) {}) // trailing-ack give-up after peer exit
+
+			video0 := procs[0].Open(1, ChannelConfig{ID: videoID, Priority: 7})
+			bulk0 := procs[0].Open(1, ChannelConfig{ID: bulkID, Error: NewGoBackN(4, 15*time.Millisecond)})
+			video1 := procs[1].Open(0, ChannelConfig{ID: videoID, Priority: 7})
+			bulk1 := procs[1].Open(0, ChannelConfig{ID: bulkID, Error: NewGoBackN(4, 15*time.Millisecond)})
+
+			procs[0].TCreate("video", mts.PrioDefault, func(th *Thread) {
+				for k := 0; k < frames; k++ {
+					video0.Send(th, 0, []byte{byte(k)})
+				}
+			})
+			procs[0].TCreate("bulk", mts.PrioDefault, func(th *Thread) {
+				for k := 0; k < bulkN; k++ {
+					bulk0.Send(th, 1, []byte{byte(k)})
+				}
+			})
+			var gotVideo, gotBulk []int
+			procs[1].TCreate("viewer", mts.PrioDefault, func(th *Thread) {
+				for k := 0; k < frames; k++ {
+					data, _ := video1.Recv(th, Any)
+					gotVideo = append(gotVideo, int(data[0]))
+				}
+			})
+			procs[1].TCreate("sink", mts.PrioDefault, func(th *Thread) {
+				for k := 0; k < bulkN; k++ {
+					data, _ := bulk1.Recv(th, Any)
+					gotBulk = append(gotBulk, int(data[0]))
+				}
+			})
+			runReal(procs)
+
+			if mem.Dropped() == 0 {
+				t.Fatal("fault injection never dropped anything — test proves nothing")
+			}
+			// Video: no error control, yet complete and in order, because
+			// only bulk traffic was lossy and the channels are isolated.
+			if len(gotVideo) != frames {
+				t.Fatalf("video delivered %d of %d frames", len(gotVideo), frames)
+			}
+			for i, v := range gotVideo {
+				if v != i {
+					t.Fatalf("video reordered at %d: %v", i, gotVideo)
+				}
+			}
+			// Bulk: go-back-N recovered every message in order.
+			if len(gotBulk) != bulkN {
+				t.Fatalf("bulk delivered %d of %d", len(gotBulk), bulkN)
+			}
+			for i, v := range gotBulk {
+				if v != i {
+					t.Fatalf("bulk reordered at %d: %v", i, gotBulk)
+				}
+			}
+			if bulk0.Error().(*GoBackN).Retransmissions() == 0 {
+				t.Fatal("bulk channel never retransmitted — loss did not exercise recovery")
+			}
+		})
 	}
 }

@@ -20,6 +20,14 @@
 //	NCS_bcast               ->  Thread.Bcast
 //	NCS_block / NCS_unblock ->  Thread.Block / Thread.Unblock
 //
+// NCS_init's flow/error arguments configure the *default channel*: every
+// process pair has an implicit channel 0 whose disciplines fork from the
+// Config templates, which is what Thread.Send/Recv ride. The paper's
+// application-specific QoS (§3, Figure 5) goes further — each traffic
+// class picks its own disciplines — and that is Proc.Open: an explicit
+// Channel with its own FlowControl, ErrorControl, and priority, mapped to
+// its own ATM virtual circuit in the cell-level carriers (see channel.go).
+//
 // The transport underneath decides the tier: the simulated or real TCP path
 // gives the Normal Speed Mode (Approach 1, what the paper benchmarks); the
 // ATM-API path (internal/nic) gives the High Speed Mode (Approach 2).
@@ -32,6 +40,7 @@ import (
 	"repro/internal/mts"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/work"
 )
 
@@ -97,12 +106,18 @@ type Config struct {
 // sendReq is one queued transfer for the send system thread.
 type sendReq struct {
 	m *transport.Message
+	// ch is the channel the message travels on; nil for control traffic
+	// and raw retransmissions, which bypass admission.
+	ch *Channel
 	// caller is parked until the send thread finishes the transfer; nil
 	// for internally generated traffic (acks, retransmissions).
 	caller *mts.Thread
 	// raw skips flow/error processing: the message was already stamped
 	// (a go-back-N retransmission must keep its original sequence).
 	raw bool
+	// ctrl marks a pooled control message that returns to the control
+	// freelist once the endpoint has serialized it.
+	ctrl bool
 	// flowOK records that flow control already admitted this request (a
 	// deferred request re-enqueued with its credit attached).
 	flowOK bool
@@ -111,6 +126,7 @@ type sendReq struct {
 // recvWaiter is a thread parked in Recv.
 type recvWaiter struct {
 	t          *Thread
+	ch         ChannelID
 	fromThread int
 	fromProc   ProcID
 	tag        int
@@ -124,31 +140,33 @@ type Proc struct {
 	sendThread *mts.Thread
 	recvThread *mts.Thread
 
-	// sendQ and rxIn are head-indexed FIFO queues: popping advances the
-	// head instead of re-slicing, so the backing arrays are reused once
-	// drained rather than abandoned to the allocator.
-	sendQ     []*sendReq
-	sendQHead int
-	rxIn      []*transport.Message
-	rxInHead  int
+	// sendQ and rxIn are per-priority head-indexed FIFO queues: the send
+	// and receive system threads service higher-priority channels first,
+	// with control traffic (credits, acks, retransmissions) above every
+	// data level.
+	sendQ prioQueue[*sendReq]
+	rxIn  prioQueue[*transport.Message]
 
 	// store holds delivered-but-unclaimed data messages.
 	store   []*transport.Message
 	waiters []*recvWaiter
 
-	// reqFree and waiterFree recycle the per-call bookkeeping structs of
-	// the send/recv hot paths. All access happens in the scheduler
-	// domain, so no locking is needed.
+	// reqFree, waiterFree, and ctrlFree recycle the per-call bookkeeping
+	// structs of the send/recv hot paths. All access happens in the
+	// scheduler domain, so no locking is needed.
 	reqFree    []*sendReq
 	waiterFree []*recvWaiter
+	ctrlFree   []*transport.Message
+
+	// channels holds every open channel, keyed by (peer, channel ID).
+	// Default channels (ID 0) are created lazily from the Config
+	// templates; explicit channels come from Open.
+	channels map[chanKey]*Channel
 
 	threads  []*Thread
 	userLive int
 	closing  bool
 	started  bool
-
-	flow FlowControl
-	errc ErrorControl
 
 	bar barrierState
 
@@ -172,14 +190,7 @@ func New(cfg Config) *Proc {
 		cfg.After = cfg.RT.After
 	}
 	p := &Proc{cfg: cfg}
-	p.flow = cfg.Flow
-	if p.flow == nil {
-		p.flow = NoFlowControl{}
-	}
-	p.errc = cfg.Error
-	if p.errc == nil {
-		p.errc = NoErrorControl{}
-	}
+	p.channels = make(map[chanKey]*Channel)
 	p.onException = func(err error) {
 		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
 	}
@@ -187,8 +198,6 @@ func New(cfg Config) *Proc {
 	cfg.Endpoint.SetHandler(p.deliver)
 	p.sendThread = cfg.RT.Create(fmt.Sprintf("ncs%d-send", cfg.ID), mts.PrioSystem, p.sendLoop)
 	p.recvThread = cfg.RT.Create(fmt.Sprintf("ncs%d-recv", cfg.ID), mts.PrioSystem, p.recvLoop)
-	p.flow.init(p)
-	p.errc.init(p)
 	return p
 }
 
@@ -266,8 +275,10 @@ func (p *Proc) userDone() {
 		return
 	}
 	p.closing = true
-	p.flow.shutdown()
-	p.errc.shutdown()
+	for _, c := range p.channels {
+		c.flow.shutdown()
+		c.errc.shutdown()
+	}
 	// Wake the system threads only if they are parked at their idle
 	// points; a thread parked mid-transfer (wire drain, flow credit) will
 	// notice closing when it next returns to its idle check.
@@ -282,9 +293,18 @@ func (p *Proc) wakeIfIdle(t *mts.Thread, idleReason string) {
 }
 
 // mayShutdown reports whether system threads are free to exit: user threads
-// are done and error control has nothing awaiting acknowledgement.
+// are done and no channel's error control has anything awaiting
+// acknowledgement.
 func (p *Proc) mayShutdown() bool {
-	return p.closing && p.errc.pending() == 0
+	if !p.closing {
+		return false
+	}
+	for _, c := range p.channels {
+		if c.errc.pending() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // checkShutdownWake nudges the system threads toward exit once the last
@@ -328,28 +348,22 @@ func (t *Thread) Send(toThread int, toProc ProcID, data []byte) {
 }
 
 // SendTagged is Send with a user message tag (>= 0); an extension beyond
-// the paper's primitives for library completeness.
+// the paper's primitives for library completeness. It travels on the
+// default channel toward toProc.
 func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
 	if tag < 0 {
 		panic("core: negative tags are reserved")
 	}
 	p := t.proc
-	m := &transport.Message{
+	c := p.DefaultChannel(toProc)
+	p.sendOn(c, t, &transport.Message{
 		From:       p.cfg.ID,
 		To:         toProc,
 		FromThread: t.idx,
 		ToThread:   toThread,
 		Tag:        tag,
 		Data:       data,
-	}
-	p.traceThread(t, trace.Idle)
-	req := p.getReq()
-	req.m = m
-	req.caller = t.mt
-	p.enqueueSend(req)
-	t.mt.Park("ncs send")
-	p.traceThread(t, trace.Compute)
-	p.sent++
+	})
 }
 
 // getReq draws a sendReq from the freelist (or allocates); putReq returns
@@ -370,41 +384,70 @@ func (p *Proc) putReq(req *sendReq) {
 	p.reqFree = append(p.reqFree, req)
 }
 
-// enqueueSend queues a request and wakes the send thread if it is parked at
-// its idle point. If it is instead parked mid-transfer (wire drain, flow
-// credit, a charged CPU burst), it will find the queue when it loops — a
-// targeted wake there would corrupt whatever it is blocked on. Safe from
-// any scheduler-domain context (threads, event handlers, timers).
+// enqueueSend queues a request under its channel's priority level and wakes
+// the send thread if it is parked at its idle point. If it is instead
+// parked mid-transfer (wire drain, flow credit, a charged CPU burst), it
+// will find the queue when it loops — a targeted wake there would corrupt
+// whatever it is blocked on. Safe from any scheduler-domain context
+// (threads, event handlers, timers). Control traffic (credits, acks,
+// barrier messages) drains above every data priority: it is what reopens
+// stalled windows, so no amount of queued bulk data may starve it. Raw
+// retransmissions, though they bypass admission, carry full data payloads
+// and drain at their own channel's priority — a lossy bulk channel's
+// go-back-N bursts must not preempt a high-priority stream. They cannot
+// starve behind gated data either: admission never blocks this queue (a
+// non-admitted request is deferred, not waited on).
 func (p *Proc) enqueueSend(req *sendReq) {
-	p.sendQ = append(p.sendQ, req)
+	level := ctrlLevel
+	if req.m.Tag >= 0 && req.ch != nil {
+		level = req.ch.priority
+	}
+	p.sendQ.push(level, req)
 	p.wakeIfIdle(p.sendThread, "send idle")
 }
 
-// popSend removes the oldest queued request, reusing the backing array
-// once the queue drains.
-func (p *Proc) popSend() *sendReq {
-	req := p.sendQ[p.sendQHead]
-	p.sendQ[p.sendQHead] = nil
-	p.sendQHead++
-	if p.sendQHead == len(p.sendQ) {
-		p.sendQ = p.sendQ[:0]
-		p.sendQHead = 0
+// sendCtrl queues a pooled control message: tag < 0, an optional uint32
+// payload, addressed to the given peer and channel. The message and its
+// 4-byte payload buffer recycle once the endpoint has serialized them, so
+// a steady stream of credits/acks allocates nothing.
+func (p *Proc) sendCtrl(to ProcID, ch ChannelID, tag int, payload uint32, withPayload bool) {
+	m := p.getCtrlMsg()
+	m.From = p.cfg.ID
+	m.To = to
+	m.Channel = ch
+	m.Tag = tag
+	if withPayload {
+		m.Data = wire.AppendUint32(m.Data[:0], payload)
 	}
-	return req
-}
-
-// enqueueControl queues an internally generated control message (no caller
-// to wake).
-func (p *Proc) enqueueControl(m *transport.Message) {
 	req := p.getReq()
 	req.m = m
+	req.ctrl = true
 	p.enqueueSend(req)
 }
 
-// sendLoop is the send system thread (Figure 8's "S").
+// getCtrlMsg draws a control message from the freelist; its Data buffer is
+// reset to zero length but keeps its backing array.
+func (p *Proc) getCtrlMsg() *transport.Message {
+	if n := len(p.ctrlFree); n > 0 {
+		m := p.ctrlFree[n-1]
+		p.ctrlFree = p.ctrlFree[:n-1]
+		return m
+	}
+	return &transport.Message{Data: make([]byte, 0, 8)}
+}
+
+func (p *Proc) putCtrlMsg(m *transport.Message) {
+	data := m.Data[:0]
+	*m = transport.Message{Data: data}
+	p.ctrlFree = append(p.ctrlFree, m)
+}
+
+// sendLoop is the send system thread (Figure 8's "S"). It drains the
+// priority queue highest level first: control traffic, then channels in
+// descending priority order.
 func (p *Proc) sendLoop(st *mts.Thread) {
 	for {
-		if p.sendQHead == len(p.sendQ) {
+		if p.sendQ.empty() {
 			if p.mayShutdown() {
 				p.traceSysClose("send")
 				return
@@ -413,30 +456,39 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 			st.Park("send idle")
 			continue
 		}
-		req := p.popSend()
+		req := p.sendQ.pop()
 		p.traceSys("send", trace.Comm)
-		// Data messages pass flow-control and error-control admission;
-		// a controller that cannot admit now takes ownership of the
-		// request and re-enqueues it later, so this loop never blocks on
-		// data while control traffic (credits, acks, retransmissions —
-		// raw requests bypass admission) is waiting behind it.
+		// Data messages pass their channel's flow-control and
+		// error-control admission; a controller that cannot admit now
+		// takes ownership of the request and re-enqueues it later, so
+		// this loop never blocks on data while control traffic (credits,
+		// acks, retransmissions — raw requests bypass admission) is
+		// waiting behind it.
 		if req.m.Tag >= 0 && !req.raw {
 			if !req.flowOK {
-				if !p.flow.admit(req) {
+				if !req.ch.flow.admit(req) {
 					continue
 				}
 				req.flowOK = true
 			}
-			if !p.errc.admit(req) {
+			if !req.ch.errc.admit(req) {
 				continue
 			}
 		}
 		p.cfg.Endpoint.Send(st, req.m)
+		if req.ch != nil && !req.raw {
+			req.ch.sent++
+			req.ch.bytesSent += int64(len(req.m.Data))
+		}
 		if req.caller != nil {
 			p.cfg.RT.Unblock(req.caller, false)
 		}
 		// The transfer is on the wire and the caller woken: nothing
-		// references the request anymore, so it returns to the freelist.
+		// references the request anymore, so it (and a pooled control
+		// message) returns to the freelist.
+		if req.ctrl {
+			p.putCtrlMsg(req.m)
+		}
 		p.putReq(req)
 	}
 }
@@ -465,10 +517,14 @@ func (t *Thread) RecvTagged(tag int, fromThread int, fromProc ProcID) ([]byte, A
 }
 
 // TryRecv is the non-blocking probe-and-receive variant; ok is false when
-// no matching message is queued.
+// no matching message is queued. It probes the default channel.
 func (t *Thread) TryRecv(fromThread int, fromProc ProcID) (data []byte, from Addr, ok bool) {
+	return t.tryRecvOn(0, fromThread, fromProc)
+}
+
+func (t *Thread) tryRecvOn(ch ChannelID, fromThread int, fromProc ProcID) (data []byte, from Addr, ok bool) {
 	p := t.proc
-	i := p.matchStore(Any, fromThread, fromProc, t.idx)
+	i := p.matchStore(ch, Any, fromThread, fromProc, t.idx)
 	if i < 0 {
 		return nil, Addr{}, false
 	}
@@ -480,9 +536,9 @@ func (t *Thread) TryRecv(fromThread int, fromProc ProcID) (data []byte, from Add
 }
 
 // MessagesAvailable reports whether a Recv with the given match would
-// complete immediately.
+// complete immediately on the default channel.
 func (t *Thread) MessagesAvailable(fromThread int, fromProc ProcID) bool {
-	return t.proc.matchStore(Any, fromThread, fromProc, t.idx) >= 0
+	return t.proc.matchStore(0, Any, fromThread, fromProc, t.idx) >= 0
 }
 
 // consume charges the host-side receive cost (stack-to-application copy) in
@@ -493,16 +549,22 @@ func (p *Proc) consume(mt *mts.Thread, m *transport.Message) {
 	}
 }
 
-func (p *Proc) matchStore(tag, fromThread int, fromProc ProcID, toThread int) int {
+func (p *Proc) matchStore(ch ChannelID, tag, fromThread int, fromProc ProcID, toThread int) int {
 	for i, m := range p.store {
-		if p.matches(m, tag, fromThread, fromProc, toThread) {
+		if p.matches(m, ch, tag, fromThread, fromProc, toThread) {
 			return i
 		}
 	}
 	return -1
 }
 
-func (p *Proc) matches(m *transport.Message, tag, fromThread int, fromProc ProcID, toThread int) bool {
+// matches tests a receive pattern. Channel matching is exact: default
+// Recv sees only default-channel traffic, and a Channel.Recv sees only its
+// own — the isolation that lets two disciplines coexist on one pair.
+func (p *Proc) matches(m *transport.Message, ch ChannelID, tag, fromThread int, fromProc ProcID, toThread int) bool {
+	if m.Channel != ch {
+		return false
+	}
 	if m.ToThread != toThread {
 		return false
 	}
@@ -518,23 +580,23 @@ func (p *Proc) matches(m *transport.Message, tag, fromThread int, fromProc ProcI
 	return true
 }
 
-// popRx removes the oldest delivered message, reusing the backing array
-// once the queue drains.
-func (p *Proc) popRx() *transport.Message {
-	m := p.rxIn[p.rxInHead]
-	p.rxIn[p.rxInHead] = nil
-	p.rxInHead++
-	if p.rxInHead == len(p.rxIn) {
-		p.rxIn = p.rxIn[:0]
-		p.rxInHead = 0
+// rxLevel places an arriving message in the receive priority queue:
+// control above all data, data under its channel's priority (an unopened
+// channel files at the bottom; recvLoop raises the exception).
+func (p *Proc) rxLevel(m *transport.Message) int {
+	if m.Tag < 0 {
+		return ctrlLevel
 	}
-	return m
+	if c, ok := p.channels[chanKey{peer: m.From, id: m.Channel}]; ok {
+		return c.priority
+	}
+	return 0
 }
 
 // deliver is the transport handler: it queues the raw message for the
 // receive system thread and wakes it (Figure 8's "R").
 func (p *Proc) deliver(m *transport.Message) {
-	p.rxIn = append(p.rxIn, m)
+	p.rxIn.push(p.rxLevel(m), m)
 	if p.cfg.ArrivalPollDelay != nil {
 		if d := p.cfg.ArrivalPollDelay(); d > 0 {
 			// Poll-discovered arrival: wake the receive thread when the
@@ -548,11 +610,12 @@ func (p *Proc) deliver(m *transport.Message) {
 	p.wakeIfIdle(p.recvThread, "recv idle")
 }
 
-// recvLoop is the receive system thread: it demultiplexes arrivals into
-// control handling, parked waiters, or the message store.
+// recvLoop is the receive system thread: it demultiplexes arrivals by
+// channel into control handling, parked waiters, or the message store,
+// draining higher-priority channels first.
 func (p *Proc) recvLoop(rt *mts.Thread) {
 	for {
-		if p.rxInHead == len(p.rxIn) {
+		if p.rxIn.empty() {
 			if p.mayShutdown() {
 				p.traceSysClose("recv")
 				return
@@ -561,20 +624,27 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 			rt.Park("recv idle")
 			continue
 		}
-		m := p.popRx()
+		m := p.rxIn.pop()
 		p.traceSys("recv", trace.Comm)
 
-		// Control traffic is consumed by the subsystem it belongs to.
+		// Control traffic is consumed by the channel it belongs to.
 		if m.Tag < 0 {
 			p.handleControl(m)
 			continue
 		}
-		// Error control may suppress duplicates / out-of-order arrivals.
-		if !p.errc.onData(m) {
+		c, ok := p.lookupChannel(m.From, m.Channel)
+		if !ok {
+			p.exception(fmt.Errorf("data on unopened channel %d from proc %d", m.Channel, m.From))
 			continue
 		}
+		// Error control may suppress duplicates / out-of-order arrivals.
+		if !c.errc.onData(m) {
+			continue
+		}
+		c.received++
+		c.bytesReceived += int64(len(m.Data))
 		// Flow control acknowledges the delivery (credit return).
-		p.flow.onDelivered(m)
+		c.flow.onDelivered(m)
 		p.dispatchData(rt, m)
 	}
 }
@@ -582,7 +652,7 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 // dispatchData hands a data message to a parked waiter or stores it.
 func (p *Proc) dispatchData(rt *mts.Thread, m *transport.Message) {
 	for i, w := range p.waiters {
-		if p.matches(m, w.tag, w.fromThread, w.fromProc, w.t.idx) {
+		if p.matches(m, w.ch, w.tag, w.fromThread, w.fromProc, w.t.idx) {
 			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
 			// The receive thread performs the stack-to-app copy in its
 			// own context, then wakes the compute thread.
@@ -597,10 +667,17 @@ func (p *Proc) dispatchData(rt *mts.Thread, m *transport.Message) {
 
 func (p *Proc) handleControl(m *transport.Message) {
 	switch m.Tag {
-	case tagFlowAck:
-		p.flow.onControl(m)
-	case tagGBNAck:
-		p.errc.onControl(m)
+	case tagFlowAck, tagGBNAck:
+		c, ok := p.lookupChannel(m.From, m.Channel)
+		if !ok {
+			p.exception(fmt.Errorf("control tag %d on unopened channel %d from proc %d", m.Tag, m.Channel, m.From))
+			return
+		}
+		if m.Tag == tagFlowAck {
+			c.flow.onControl(m)
+		} else {
+			c.errc.onControl(m)
+		}
 	case tagBarrier, tagBarrierRel:
 		p.bar.onMessage(p, m)
 	default:

@@ -283,20 +283,18 @@ func TestBarrier(t *testing.T) {
 }
 
 func TestWindowFlowInvariant(t *testing.T) {
-	var senderFlow *WindowFlow
 	eng, procs := simCluster(t, 2, func(i int) (FlowControl, ErrorControl) {
-		f := NewWindowFlow(2)
-		if i == 0 {
-			senderFlow = f
-		}
-		return f, nil
+		return NewWindowFlow(2), nil
 	})
+	// The Config instance is a template; the live per-channel state machine
+	// hangs off the default channel toward proc 1.
+	senderFlow := procs[0].DefaultChannel(1).Flow().(*WindowFlow)
 	const n = 12
 	var received int
 	procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
 		for k := 0; k < n; k++ {
 			th.Send(0, 1, make([]byte, 10000))
-			if out := senderFlow.Outstanding(1); out > 2 {
+			if out := senderFlow.Outstanding(); out > 2 {
 				t.Errorf("window violated: %d outstanding", out)
 			}
 		}
@@ -480,7 +478,7 @@ func TestExceptionHandler(t *testing.T) {
 	})
 	procs[0].TCreate("evil", mts.PrioDefault, func(th *Thread) {
 		// Hand-craft a bogus control message.
-		th.proc.enqueueControl(&transport.Message{From: 0, To: 1, Tag: -99})
+		th.proc.sendCtrl(1, 0, -99, 0, false)
 		th.Send(0, 1, []byte("legit"))
 	})
 	eng.Run()

@@ -11,15 +11,20 @@ import (
 // control thread, selected by NCS_init's second argument). Approach 1 needs
 // none — p4/TCP is reliable — so NoErrorControl is the default; GoBackN
 // provides reliability over lossy transports (the Mem transport's fault
-// injection, or a raw ATM VC without SSCOP).
+// injection, or a raw ATM VC without SSCOP). Like FlowControl, one
+// instance serves one Channel: sequence numbers, windows, and timers are
+// per-channel state, so loss on a bulk channel never stalls or reorders a
+// stream channel sharing the process pair.
 //
-// Like FlowControl, admission is non-blocking: a full retransmission window
-// defers the request instead of parking the send system thread, which must
-// stay free to carry retransmissions and acknowledgements.
+// Admission is non-blocking: a full retransmission window defers the
+// request instead of parking the send system thread, which must stay free
+// to carry retransmissions and acknowledgements.
 type ErrorControl interface {
 	// Name identifies the discipline.
 	Name() string
-	init(p *Proc)
+	// fork returns a fresh, unbound instance with the same parameters.
+	fork() ErrorControl
+	init(c *Channel)
 	// admit either stamps and buffers m for transmission (true) or takes
 	// ownership of the request for deferred re-enqueue (false).
 	admit(req *sendReq) bool
@@ -39,15 +44,30 @@ type NoErrorControl struct{}
 
 // Name implements ErrorControl.
 func (NoErrorControl) Name() string                   { return "none" }
-func (NoErrorControl) init(*Proc)                     {}
+func (NoErrorControl) fork() ErrorControl             { return NoErrorControl{} }
+func (NoErrorControl) init(*Channel)                  {}
 func (NoErrorControl) admit(*sendReq) bool            { return true }
 func (NoErrorControl) onData(*transport.Message) bool { return true }
 func (NoErrorControl) onControl(*transport.Message)   {}
 func (NoErrorControl) pending() int                   { return 0 }
 func (NoErrorControl) shutdown()                      {}
 
-// gbnPeer is per-remote-process go-back-N state.
-type gbnPeer struct {
+// GoBackN is sliding-window ARQ with cumulative acks and a retransmission
+// timer, per channel. ESeq numbers start at 1; an ack carries the highest
+// in-order sequence received.
+type GoBackN struct {
+	// Window bounds in-flight messages on the channel.
+	Window int
+	// Timeout is the retransmission timer.
+	Timeout time.Duration
+	// MaxRetries bounds consecutive timer firings without window progress;
+	// past it the stuck window is abandoned (best-effort delivery to a
+	// dead peer). Defaults to 25.
+	MaxRetries int
+
+	p  *Proc
+	ch *Channel
+
 	// Sender side.
 	nextSeq  uint32               // next ESeq to assign
 	base     uint32               // oldest unacked
@@ -60,23 +80,7 @@ type gbnPeer struct {
 
 	// Receiver side.
 	expected uint32
-}
 
-// GoBackN is sliding-window ARQ with cumulative acks and a retransmission
-// timer, per destination process. ESeq numbers start at 1; an ack carries
-// the highest in-order sequence received.
-type GoBackN struct {
-	// Window bounds in-flight messages per destination.
-	Window int
-	// Timeout is the retransmission timer.
-	Timeout time.Duration
-	// MaxRetries bounds consecutive timer firings without window progress
-	// toward one destination; past it the stuck window is abandoned
-	// (best-effort delivery to a dead peer). Defaults to 25.
-	MaxRetries int
-
-	p         *Proc
-	peers     map[ProcID]*gbnPeer
 	retrans   int64
 	abandoned int64
 }
@@ -92,6 +96,12 @@ func NewGoBackN(window int, timeout time.Duration) *GoBackN {
 // Name implements ErrorControl.
 func (g *GoBackN) Name() string { return "go-back-n" }
 
+func (g *GoBackN) fork() ErrorControl {
+	f := NewGoBackN(g.Window, g.Timeout)
+	f.MaxRetries = g.MaxRetries
+	return f
+}
+
 // Retransmissions returns how many copies were re-sent; for tests and
 // experiment reporting.
 func (g *GoBackN) Retransmissions() int64 { return g.retrans }
@@ -99,77 +109,71 @@ func (g *GoBackN) Retransmissions() int64 { return g.retrans }
 // Abandoned returns how many messages were given up on (dead peer).
 func (g *GoBackN) Abandoned() int64 { return g.abandoned }
 
-func (g *GoBackN) init(p *Proc) {
-	g.p = p
-	g.peers = make(map[ProcID]*gbnPeer)
-}
-
-func (g *GoBackN) peer(id ProcID) *gbnPeer {
-	pe := g.peers[id]
-	if pe == nil {
-		pe = &gbnPeer{nextSeq: 1, base: 1, expected: 1}
-		g.peers[id] = pe
+func (g *GoBackN) init(c *Channel) {
+	if g.ch != nil {
+		panic("core: ErrorControl instance bound to two channels; pass a fresh instance per channel")
 	}
-	return pe
+	g.ch = c
+	g.p = c.p
+	g.nextSeq = 1
+	g.base = 1
+	g.expected = 1
 }
 
 func (g *GoBackN) admit(req *sendReq) bool {
-	pe := g.peer(req.m.To)
-	if pe.nextSeq-pe.base >= uint32(g.Window) {
-		pe.deferred = append(pe.deferred, req)
+	if g.nextSeq-g.base >= uint32(g.Window) {
+		g.deferred = append(g.deferred, req)
 		return false
 	}
-	req.m.ESeq = pe.nextSeq
-	pe.nextSeq++
+	req.m.ESeq = g.nextSeq
+	g.nextSeq++
 	// Buffer a private copy for retransmission: the transport may mutate
 	// Seq, and the application owns Data until delivery.
 	cp := *req.m
-	pe.unacked = append(pe.unacked, &cp)
-	g.armTimer(req.m.To, pe)
+	g.unacked = append(g.unacked, &cp)
+	g.armTimer()
 	return true
 }
 
-func (g *GoBackN) armTimer(dst ProcID, pe *gbnPeer) {
-	if pe.timerOn {
+func (g *GoBackN) armTimer() {
+	if g.timerOn {
 		return
 	}
-	pe.timerOn = true
-	g.p.cfg.After(g.Timeout, func() { g.timerFire(dst) })
+	g.timerOn = true
+	g.p.cfg.After(g.Timeout, g.timerFire)
 }
 
-func (g *GoBackN) timerFire(dst ProcID) {
-	pe := g.peers[dst]
-	if pe == nil {
+func (g *GoBackN) timerFire() {
+	g.timerOn = false
+	if len(g.unacked) == 0 {
 		return
 	}
-	pe.timerOn = false
-	if len(pe.unacked) == 0 {
-		return
-	}
-	pe.stall++
-	if pe.stall > g.MaxRetries {
+	g.stall++
+	if g.stall > g.MaxRetries {
 		// The peer looks dead: abandon the window so the process can
 		// terminate instead of retransmitting forever. Deferred requests
 		// flow out best-effort through the now-open window.
-		g.abandoned += int64(len(pe.unacked))
-		pe.base = pe.nextSeq
-		pe.unacked = nil
-		g.releaseDeferred(pe)
-		g.p.exception(fmt.Errorf("go-back-N: gave up on %d messages to proc %d", g.abandoned, dst))
+		gaveUp := len(g.unacked)
+		g.abandoned += int64(gaveUp)
+		g.base = g.nextSeq
+		g.unacked = nil
+		g.releaseDeferred()
+		g.p.exception(fmt.Errorf("go-back-N: gave up on %d messages to proc %d (channel %d)", gaveUp, g.ch.peer, g.ch.id))
 		g.p.checkShutdownWake()
 		return
 	}
 	// Go-back-N: re-queue every unacked message through the send thread,
 	// bypassing admission so the original sequence numbers are preserved.
-	for _, m := range pe.unacked {
+	for _, m := range g.unacked {
 		cp := *m
 		g.retrans++
 		req := g.p.getReq()
 		req.m = &cp
+		req.ch = g.ch
 		req.raw = true
 		g.p.enqueueSend(req)
 	}
-	g.armTimer(dst, pe)
+	g.armTimer()
 }
 
 func (g *GoBackN) onData(m *transport.Message) bool {
@@ -177,64 +181,51 @@ func (g *GoBackN) onData(m *transport.Message) bool {
 		// Peer not running error control (mixed configuration): accept.
 		return true
 	}
-	pe := g.peer(m.From)
 	switch {
-	case m.ESeq == pe.expected:
-		pe.expected++
-		g.sendAck(m.From, pe.expected-1)
+	case m.ESeq == g.expected:
+		g.expected++
+		g.sendAck(g.expected - 1)
 		return true
-	case m.ESeq < pe.expected:
+	case m.ESeq < g.expected:
 		// Duplicate: re-ack so the sender's window slides.
-		g.sendAck(m.From, pe.expected-1)
+		g.sendAck(g.expected - 1)
 		return false
 	default:
 		// Gap: discard and re-ack the last in-order sequence.
-		g.sendAck(m.From, pe.expected-1)
+		g.sendAck(g.expected - 1)
 		return false
 	}
 }
 
-func (g *GoBackN) sendAck(to ProcID, upTo uint32) {
-	g.p.enqueueControl(&transport.Message{
-		From: g.p.cfg.ID,
-		To:   to,
-		Tag:  tagGBNAck,
-		Data: putUint32(upTo),
-	})
+func (g *GoBackN) sendAck(upTo uint32) {
+	g.p.sendCtrl(g.ch.peer, g.ch.id, tagGBNAck, upTo, true)
 }
 
 func (g *GoBackN) onControl(m *transport.Message) {
-	pe := g.peer(m.From)
-	acked := getUint32(m.Data)
+	acked := ctrlPayload(m)
 	progressed := false
-	for len(pe.unacked) > 0 && pe.unacked[0].ESeq <= acked {
-		pe.unacked = pe.unacked[1:]
-		pe.base++
+	for len(g.unacked) > 0 && g.unacked[0].ESeq <= acked {
+		g.unacked = g.unacked[1:]
+		g.base++
 		progressed = true
 	}
 	if progressed {
-		pe.stall = 0
-		g.releaseDeferred(pe)
+		g.stall = 0
+		g.releaseDeferred()
 		g.p.checkShutdownWake()
 	}
 }
 
 // releaseDeferred re-enqueues admission-deferred requests while window
 // space is available.
-func (g *GoBackN) releaseDeferred(pe *gbnPeer) {
-	for len(pe.deferred) > 0 && pe.nextSeq-pe.base < uint32(g.Window) {
-		req := pe.deferred[0]
-		pe.deferred = pe.deferred[1:]
+func (g *GoBackN) releaseDeferred() {
+	for len(g.deferred) > 0 && g.nextSeq-g.base < uint32(g.Window) {
+		req := g.deferred[0]
+		g.deferred = g.deferred[1:]
 		g.p.enqueueSend(req)
 	}
 }
 
-func (g *GoBackN) pending() int {
-	total := 0
-	for _, pe := range g.peers {
-		total += len(pe.unacked)
-	}
-	return total
-}
+func (g *GoBackN) pending() int { return len(g.unacked) }
 
 func (g *GoBackN) shutdown() {}

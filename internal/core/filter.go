@@ -55,10 +55,17 @@ func (f *P4Filter) MessagesAvailable() bool {
 	return f.t.MessagesAvailable(Any, ProcID(Any))
 }
 
-// recvTagOut is RecvTagged that also reports the matched tag.
+// recvTagOut is RecvTagged that also reports the matched tag; it listens
+// on the default channel.
 func (t *Thread) recvTagOut(tag, fromThread int, fromProc ProcID) ([]byte, Addr, int) {
+	return t.recvOn(0, tag, fromThread, fromProc)
+}
+
+// recvOn is the blocking receive body shared by Thread.Recv (channel 0)
+// and Channel.Recv.
+func (t *Thread) recvOn(ch ChannelID, tag, fromThread int, fromProc ProcID) ([]byte, Addr, int) {
 	p := t.proc
-	if i := p.matchStore(tag, fromThread, fromProc, t.idx); i >= 0 {
+	if i := p.matchStore(ch, tag, fromThread, fromProc, t.idx); i >= 0 {
 		m := p.store[i]
 		p.store = append(p.store[:i], p.store[i+1:]...)
 		p.consume(t.mt, m)
@@ -67,6 +74,7 @@ func (t *Thread) recvTagOut(tag, fromThread int, fromProc ProcID) ([]byte, Addr,
 	}
 	w := p.getWaiter()
 	w.t = t
+	w.ch = ch
 	w.fromThread = fromThread
 	w.fromProc = fromProc
 	w.tag = tag

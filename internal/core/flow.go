@@ -1,15 +1,20 @@
 package core
 
 import (
-	"encoding/binary"
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // FlowControl is the pluggable discipline the paper's flow-control thread
 // implements (Figure 5: different applications select different mechanisms
-// at run time — NCS_init(flow, error)).
+// at run time — NCS_init(flow, error)). One instance serves one Channel:
+// the discipline is a per-channel state machine, so two channels between
+// the same process pair pace and window independently. Instances passed to
+// core.New act as templates for default channels (fork produces a fresh
+// per-channel copy); instances passed to Proc.Open are used directly and
+// must not be shared across channels.
 //
 // Admission is non-blocking by design: the send system thread must stay
 // free to carry control traffic (credit returns, acknowledgements) even
@@ -20,7 +25,9 @@ import (
 type FlowControl interface {
 	// Name identifies the discipline.
 	Name() string
-	init(p *Proc)
+	// fork returns a fresh, unbound instance with the same parameters.
+	fork() FlowControl
+	init(c *Channel)
 	// admit either clears m for transmission (true) or takes ownership of
 	// the request for deferred re-enqueue (false).
 	admit(req *sendReq) bool
@@ -38,22 +45,23 @@ type NoFlowControl struct{}
 
 // Name implements FlowControl.
 func (NoFlowControl) Name() string                   { return "none" }
-func (NoFlowControl) init(*Proc)                     {}
+func (NoFlowControl) fork() FlowControl              { return NoFlowControl{} }
+func (NoFlowControl) init(*Channel)                  {}
 func (NoFlowControl) admit(*sendReq) bool            { return true }
 func (NoFlowControl) onDelivered(*transport.Message) {}
 func (NoFlowControl) onControl(*transport.Message)   {}
 func (NoFlowControl) shutdown()                      {}
 
 // WindowFlow is credit-based flow control: at most Window messages may be
-// outstanding (sent but not credited back) per destination. Suited to the
+// outstanding (sent but not credited back) on the channel. Suited to the
 // parallel/distributed application class in Figure 5 (bursty, loss-averse).
 type WindowFlow struct {
-	// Window is the per-destination credit (>= 1).
+	// Window is the channel's credit (>= 1).
 	Window int
 
-	p        *Proc
-	credits  map[ProcID]int
-	deferred map[ProcID][]*sendReq
+	c        *Channel
+	credits  int
+	deferred []*sendReq
 }
 
 // NewWindowFlow returns a window-based discipline.
@@ -67,58 +75,48 @@ func NewWindowFlow(window int) *WindowFlow {
 // Name implements FlowControl.
 func (w *WindowFlow) Name() string { return "window" }
 
-func (w *WindowFlow) init(p *Proc) {
-	w.p = p
-	w.credits = make(map[ProcID]int)
-	w.deferred = make(map[ProcID][]*sendReq)
-}
+func (w *WindowFlow) fork() FlowControl { return NewWindowFlow(w.Window) }
 
-func (w *WindowFlow) creditsFor(dst ProcID) int {
-	if c, ok := w.credits[dst]; ok {
-		return c
+func (w *WindowFlow) init(c *Channel) {
+	if w.c != nil {
+		panic("core: FlowControl instance bound to two channels; pass a fresh instance per channel")
 	}
-	w.credits[dst] = w.Window
-	return w.Window
+	w.c = c
+	w.credits = w.Window
 }
 
 func (w *WindowFlow) admit(req *sendReq) bool {
-	dst := req.m.To
-	if w.creditsFor(dst) > 0 {
-		w.credits[dst]--
+	if w.credits > 0 {
+		w.credits--
 		return true
 	}
-	w.deferred[dst] = append(w.deferred[dst], req)
+	w.deferred = append(w.deferred, req)
 	return false
 }
 
 func (w *WindowFlow) onDelivered(m *transport.Message) {
-	// Return a credit to the sender.
-	w.p.enqueueControl(&transport.Message{
-		From: w.p.cfg.ID,
-		To:   m.From,
-		Tag:  tagFlowAck,
-	})
+	// Return a credit to the sender on this channel.
+	w.c.p.sendCtrl(w.c.peer, w.c.id, tagFlowAck, 0, false)
 }
 
 func (w *WindowFlow) onControl(m *transport.Message) {
-	src := m.From
-	if q := w.deferred[src]; len(q) > 0 {
+	if len(w.deferred) > 0 {
 		// Hand the freed credit straight to the oldest deferred request.
-		req := q[0]
-		w.deferred[src] = q[1:]
+		req := w.deferred[0]
+		w.deferred = w.deferred[1:]
 		req.flowOK = true
-		w.p.enqueueSend(req)
+		w.c.p.enqueueSend(req)
 		return
 	}
-	w.credits[src] = w.creditsFor(src) + 1
+	w.credits++
 }
 
 func (w *WindowFlow) shutdown() {}
 
-// Outstanding returns how many credits are currently consumed toward dst;
-// tests use it to verify the window invariant.
-func (w *WindowFlow) Outstanding(dst ProcID) int {
-	return w.Window - w.creditsFor(dst)
+// Outstanding returns how many credits are currently consumed; tests use
+// it to verify the window invariant.
+func (w *WindowFlow) Outstanding() int {
+	return w.Window - w.credits
 }
 
 // RateFlow is token-bucket pacing: data leaves at no more than Rate bytes
@@ -130,7 +128,7 @@ type RateFlow struct {
 	// Bucket is the burst capacity in bytes.
 	Bucket float64
 
-	p      *Proc
+	c      *Channel
 	tokens float64
 	last   time.Duration // virtual/real time of last refill
 }
@@ -146,14 +144,19 @@ func NewRateFlow(bytesPerSecond, bucketBytes float64) *RateFlow {
 // Name implements FlowControl.
 func (r *RateFlow) Name() string { return "rate" }
 
-func (r *RateFlow) init(p *Proc) {
-	r.p = p
+func (r *RateFlow) fork() FlowControl { return NewRateFlow(r.Rate, r.Bucket) }
+
+func (r *RateFlow) init(c *Channel) {
+	if r.c != nil {
+		panic("core: FlowControl instance bound to two channels; pass a fresh instance per channel")
+	}
+	r.c = c
 	r.tokens = r.Bucket
-	r.last = time.Duration(p.cfg.RT.Now())
+	r.last = time.Duration(c.p.cfg.RT.Now())
 }
 
 func (r *RateFlow) refill() {
-	now := time.Duration(r.p.cfg.RT.Now())
+	now := time.Duration(r.c.p.cfg.RT.Now())
 	r.tokens += r.Rate * (now - r.last).Seconds()
 	if r.tokens > r.Bucket {
 		r.tokens = r.Bucket
@@ -177,7 +180,7 @@ func (r *RateFlow) admit(req *sendReq) bool {
 	if wait < time.Microsecond {
 		wait = time.Microsecond
 	}
-	p := r.p
+	p := r.c.p
 	p.cfg.After(wait, func() { p.enqueueSend(req) })
 	return false
 }
@@ -192,16 +195,5 @@ func (r *RateFlow) Tokens() float64 {
 	return r.tokens
 }
 
-// putUint32 is a small helper shared by control-message payload writers.
-func putUint32(v uint32) []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint32(b, v)
-	return b
-}
-
-func getUint32(b []byte) uint32 {
-	if len(b) < 4 {
-		return 0
-	}
-	return binary.BigEndian.Uint32(b)
-}
+// ctrlPayload reads the uint32 payload of a control message.
+func ctrlPayload(m *transport.Message) uint32 { return wire.Uint32(m.Data) }

@@ -169,7 +169,7 @@ func (f *PVMFilter) Recv(tid ProcID, tag int) *PVMBuffer {
 // whether a matching message was consumed.
 func (f *PVMFilter) NRecv(tid ProcID, tag int) (*PVMBuffer, bool) {
 	p := f.t.proc
-	i := p.matchStore(tag, Any, tid, f.t.idx)
+	i := p.matchStore(0, tag, Any, tid, f.t.idx)
 	if i < 0 {
 		return nil, false
 	}

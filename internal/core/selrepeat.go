@@ -11,10 +11,10 @@ import (
 // acknowledgement and retransmission, with a receive window that buffers
 // out-of-order arrivals instead of discarding them (go-back-N's weakness
 // under loss). It demonstrates that the paper's "error control thread" slot
-// is genuinely pluggable: the discipline is selected per application at
-// NCS_init time, exactly like flow control in Figure 5.
+// is genuinely pluggable: the discipline is selected per channel, exactly
+// like flow control in Figure 5. One instance serves one Channel.
 type SelectiveRepeat struct {
-	// Window bounds in-flight messages per destination.
+	// Window bounds in-flight messages on the channel.
 	Window int
 	// Timeout is the per-message retransmission timer.
 	Timeout time.Duration
@@ -22,19 +22,9 @@ type SelectiveRepeat struct {
 	// abandoned (dead peer). Defaults to 25.
 	MaxRetries int
 
-	p         *Proc
-	peers     map[ProcID]*srPeer
-	retrans   int64
-	abandoned int64
-}
+	p  *Proc
+	ch *Channel
 
-type srPending struct {
-	m       *transport.Message
-	acked   bool
-	retries int
-}
-
-type srPeer struct {
 	// Sender side.
 	nextSeq  uint32
 	base     uint32
@@ -45,6 +35,15 @@ type srPeer struct {
 	// holds arrived-but-out-of-order messages.
 	expected uint32
 	buffered map[uint32]*transport.Message
+
+	retrans   int64
+	abandoned int64
+}
+
+type srPending struct {
+	m       *transport.Message
+	acked   bool
+	retries int
 }
 
 // NewSelectiveRepeat returns a selective-repeat discipline.
@@ -58,66 +57,60 @@ func NewSelectiveRepeat(window int, timeout time.Duration) *SelectiveRepeat {
 // Name implements ErrorControl.
 func (s *SelectiveRepeat) Name() string { return "selective-repeat" }
 
+func (s *SelectiveRepeat) fork() ErrorControl {
+	f := NewSelectiveRepeat(s.Window, s.Timeout)
+	f.MaxRetries = s.MaxRetries
+	return f
+}
+
 // Retransmissions returns how many copies were re-sent.
 func (s *SelectiveRepeat) Retransmissions() int64 { return s.retrans }
 
 // Abandoned returns how many messages were given up on.
 func (s *SelectiveRepeat) Abandoned() int64 { return s.abandoned }
 
-func (s *SelectiveRepeat) init(p *Proc) {
-	s.p = p
-	s.peers = make(map[ProcID]*srPeer)
-}
-
-func (s *SelectiveRepeat) peer(id ProcID) *srPeer {
-	pe := s.peers[id]
-	if pe == nil {
-		pe = &srPeer{
-			nextSeq:  1,
-			base:     1,
-			expected: 1,
-			inflight: make(map[uint32]*srPending),
-			buffered: make(map[uint32]*transport.Message),
-		}
-		s.peers[id] = pe
+func (s *SelectiveRepeat) init(c *Channel) {
+	if s.ch != nil {
+		panic("core: ErrorControl instance bound to two channels; pass a fresh instance per channel")
 	}
-	return pe
+	s.ch = c
+	s.p = c.p
+	s.nextSeq = 1
+	s.base = 1
+	s.expected = 1
+	s.inflight = make(map[uint32]*srPending)
+	s.buffered = make(map[uint32]*transport.Message)
 }
 
 func (s *SelectiveRepeat) admit(req *sendReq) bool {
-	pe := s.peer(req.m.To)
-	if pe.nextSeq-pe.base >= uint32(s.Window) {
-		pe.deferred = append(pe.deferred, req)
+	if s.nextSeq-s.base >= uint32(s.Window) {
+		s.deferred = append(s.deferred, req)
 		return false
 	}
-	req.m.ESeq = pe.nextSeq
-	pe.nextSeq++
+	req.m.ESeq = s.nextSeq
+	s.nextSeq++
 	cp := *req.m
 	pending := &srPending{m: &cp}
-	pe.inflight[cp.ESeq] = pending
-	s.armTimer(req.m.To, cp.ESeq)
+	s.inflight[cp.ESeq] = pending
+	s.armTimer(cp.ESeq)
 	return true
 }
 
-func (s *SelectiveRepeat) armTimer(dst ProcID, seq uint32) {
-	s.p.cfg.After(s.Timeout, func() { s.timerFire(dst, seq) })
+func (s *SelectiveRepeat) armTimer(seq uint32) {
+	s.p.cfg.After(s.Timeout, func() { s.timerFire(seq) })
 }
 
-func (s *SelectiveRepeat) timerFire(dst ProcID, seq uint32) {
-	pe := s.peers[dst]
-	if pe == nil {
-		return
-	}
-	pending, ok := pe.inflight[seq]
+func (s *SelectiveRepeat) timerFire(seq uint32) {
+	pending, ok := s.inflight[seq]
 	if !ok || pending.acked {
 		return
 	}
 	pending.retries++
 	if pending.retries > s.MaxRetries {
 		s.abandoned++
-		delete(pe.inflight, seq)
-		s.slide(pe)
-		s.p.exception(fmt.Errorf("selective-repeat: gave up on seq %d to proc %d", seq, dst))
+		delete(s.inflight, seq)
+		s.slide()
+		s.p.exception(fmt.Errorf("selective-repeat: gave up on seq %d to proc %d (channel %d)", seq, s.ch.peer, s.ch.id))
 		s.p.checkShutdownWake()
 		return
 	}
@@ -125,25 +118,26 @@ func (s *SelectiveRepeat) timerFire(dst ProcID, seq uint32) {
 	s.retrans++
 	req := s.p.getReq()
 	req.m = &cp
+	req.ch = s.ch
 	req.raw = true
 	s.p.enqueueSend(req)
-	s.armTimer(dst, seq)
+	s.armTimer(seq)
 }
 
 // slide advances base past acked/abandoned sequences and releases deferred
 // requests into the freed window space.
-func (s *SelectiveRepeat) slide(pe *srPeer) {
-	for pe.base < pe.nextSeq {
-		pending, ok := pe.inflight[pe.base]
+func (s *SelectiveRepeat) slide() {
+	for s.base < s.nextSeq {
+		pending, ok := s.inflight[s.base]
 		if ok && !pending.acked {
 			break
 		}
-		delete(pe.inflight, pe.base)
-		pe.base++
+		delete(s.inflight, s.base)
+		s.base++
 	}
-	for len(pe.deferred) > 0 && pe.nextSeq-pe.base < uint32(s.Window) {
-		req := pe.deferred[0]
-		pe.deferred = pe.deferred[1:]
+	for len(s.deferred) > 0 && s.nextSeq-s.base < uint32(s.Window) {
+		req := s.deferred[0]
+		s.deferred = s.deferred[1:]
 		s.p.enqueueSend(req)
 	}
 }
@@ -152,44 +146,36 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 	if m.ESeq == 0 {
 		return true
 	}
-	pe := s.peer(m.From)
 	// Ack every received copy individually (selective ack).
-	s.p.enqueueControl(&transport.Message{
-		From: s.p.cfg.ID,
-		To:   m.From,
-		Tag:  tagGBNAck, // same control channel; payload is the acked seq
-		Data: putUint32(m.ESeq),
-	})
+	s.p.sendCtrl(s.ch.peer, s.ch.id, tagGBNAck, m.ESeq, true)
 	switch {
-	case m.ESeq == pe.expected:
-		pe.expected++
+	case m.ESeq == s.expected:
+		s.expected++
 		// Flush buffered successors. They must be processed *before*
 		// anything already queued behind the current message — a raw
 		// arrival sitting in rxIn could otherwise match the advanced
-		// expected sequence and leapfrog them — so they are prepended,
-		// with sequences cleared so this discipline passes them through
-		// instead of re-filtering them as duplicates.
+		// expected sequence and leapfrog them — so they are prepended to
+		// the channel's receive level, with sequences cleared so this
+		// discipline passes them through instead of re-filtering them as
+		// duplicates.
 		var flushed []*transport.Message
 		for {
-			next, ok := pe.buffered[pe.expected]
+			next, ok := s.buffered[s.expected]
 			if !ok {
 				break
 			}
-			delete(pe.buffered, pe.expected)
-			pe.expected++
+			delete(s.buffered, s.expected)
+			s.expected++
 			next.ESeq = 0
 			flushed = append(flushed, next)
 		}
 		if len(flushed) > 0 {
-			// Prepend ahead of the live (unconsumed) region of the
-			// head-indexed queue.
-			s.p.rxIn = append(flushed, s.p.rxIn[s.p.rxInHead:]...)
-			s.p.rxInHead = 0
+			s.p.rxIn.prependLevel(s.ch.priority, flushed)
 		}
 		return true
-	case m.ESeq > pe.expected:
-		if _, dup := pe.buffered[m.ESeq]; !dup {
-			pe.buffered[m.ESeq] = m
+	case m.ESeq > s.expected:
+		if _, dup := s.buffered[m.ESeq]; !dup {
+			s.buffered[m.ESeq] = m
 		}
 		return false
 	default:
@@ -198,22 +184,19 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 }
 
 func (s *SelectiveRepeat) onControl(m *transport.Message) {
-	pe := s.peer(m.From)
-	seq := getUint32(m.Data)
-	if pending, ok := pe.inflight[seq]; ok {
+	seq := ctrlPayload(m)
+	if pending, ok := s.inflight[seq]; ok {
 		pending.acked = true
-		s.slide(pe)
+		s.slide()
 		s.p.checkShutdownWake()
 	}
 }
 
 func (s *SelectiveRepeat) pending() int {
 	total := 0
-	for _, pe := range s.peers {
-		for _, pending := range pe.inflight {
-			if !pending.acked {
-				total++
-			}
+	for _, pending := range s.inflight {
+		if !pending.acked {
+			total++
 		}
 	}
 	return total

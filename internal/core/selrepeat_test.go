@@ -12,10 +12,8 @@ func runLossyARQ(t *testing.T, mk func() ErrorControl, msgs int) (got []int, dro
 	t.Helper()
 	mem := transport.NewMem()
 	mem.SetDropRate(0.3, 99)
-	var ecs [2]ErrorControl
 	procs := realCluster(t, 2, mem, func(i int) (FlowControl, ErrorControl) {
-		ecs[i] = mk()
-		return nil, ecs[i]
+		return nil, mk()
 	})
 	procs[0].OnException(func(error) {}) // trailing-ack give-up after peer exit
 	procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
@@ -30,7 +28,9 @@ func runLossyARQ(t *testing.T, mk func() ErrorControl, msgs int) (got []int, dro
 		}
 	})
 	runReal(procs)
-	switch ec := ecs[0].(type) {
+	// The Config instance is a template; read the stats off the live
+	// per-channel state machine.
+	switch ec := procs[0].DefaultChannel(1).Error().(type) {
 	case *GoBackN:
 		retrans = ec.Retransmissions()
 	case *SelectiveRepeat:

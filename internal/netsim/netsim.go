@@ -384,6 +384,35 @@ func VCFor(src, dst int) atm.VC {
 	return atm.VC{VPI: 0, VCI: uint16(64 + src*256 + dst)}
 }
 
+// VCForChan returns the VC carrying NCS channel ch from src to dst: the
+// channel ID becomes the VPI over the same VCI mesh, so every channel of a
+// host pair rides its own virtual circuit (the paper's one-QoS-per-VC
+// model, §4). Channel 0 is identical to VCFor — the default channel rides
+// the pre-provisioned mesh.
+func VCForChan(src, dst int, ch uint16) atm.VC {
+	return atm.VC{VPI: uint8(ch), VCI: uint16(64 + src*256 + dst)}
+}
+
+// InstallChannelRoutes provisions the full-mesh routes for channel ch's
+// VPI on a single-switch ATM LAN, mirroring what NewATMLAN installs for
+// the default mesh (VPI 0). Call once per explicit channel ID in use; a
+// cell arriving on an unprovisioned VC is dropped by the switch, exactly
+// as a real fabric discards traffic without a circuit.
+func (n *Network) InstallChannelRoutes(ch uint16) {
+	if n.kind != "nynet-lan" || len(n.switches) != 1 || n.down == nil {
+		panic("netsim: InstallChannelRoutes requires a single-switch ATM LAN")
+	}
+	sw := n.switches[0]
+	hosts := len(n.down)
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s != d {
+				sw.Route(VCForChan(s, d, ch), n.down[d])
+			}
+		}
+	}
+}
+
 // NewEthernetLAN builds the paper's comparison platform: n hosts on one
 // shared 10 Mbps Ethernet.
 func NewEthernetLAN(eng *sim.Engine, n int, cfg EthernetConfig) *Network {

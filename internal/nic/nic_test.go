@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/atm"
 	"repro/internal/mts"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -176,6 +177,114 @@ func TestRecvSendCostArithmetic(t *testing.T) {
 	}
 	if got := a.SendCost(1000); got != want {
 		t.Fatalf("SendCost = %v, want %v", got, want)
+	}
+}
+
+func TestChannelRidesOwnVC(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.NewATMLAN(eng, 2, netsim.ATMLANConfig{HostLinkBps: 140e6})
+	net.InstallChannelRoutes(5)
+	cfg := defaultCfg()
+	var nodes [2]*sim.Node
+	var eps [2]*SimATM
+	for i := 0; i < 2; i++ {
+		nodes[i] = eng.NewNode("host")
+		eps[i] = NewSimATM(nodes[i], net, i, cfg)
+		eps[i].SetHandler(func(m *transport.Message) {})
+	}
+	var got *transport.Message
+	eps[1].SetHandler(func(m *transport.Message) { got = m })
+	nodes[0].RT().Create("send", mts.PrioDefault, func(th *mts.Thread) {
+		eps[0].Send(th, &transport.Message{From: 0, To: 1, Channel: 5, Data: make([]byte, 3000)})
+	})
+	eng.Run()
+	if got == nil || got.Channel != 5 {
+		t.Fatalf("channel-5 message not delivered intact: %+v", got)
+	}
+	// The traffic rode the channel's own VC (VPI 5), not the default mesh.
+	chVC := netsim.VCForChan(0, 1, 5)
+	if cells, _ := eps[0].VCStats(chVC); cells == 0 {
+		t.Fatal("no cells accounted on the channel's VC")
+	}
+	if cells, _ := eps[0].VCStats(netsim.VCFor(0, 1)); cells != 0 {
+		t.Fatalf("%d cells leaked onto the default VC", cells)
+	}
+}
+
+func TestChannelWithoutRoutesIsDropped(t *testing.T) {
+	// A channel VC nobody provisioned: the switch discards the cells, as a
+	// real fabric does for traffic without a circuit.
+	eng, nodes, eps := buildATMPair(4, 4096, 140e6)
+	delivered := false
+	eps[1].SetHandler(func(m *transport.Message) { delivered = true })
+	nodes[0].RT().Create("send", mts.PrioDefault, func(th *mts.Thread) {
+		eps[0].Send(th, &transport.Message{From: 0, To: 1, Channel: 7, Data: make([]byte, 100)})
+	})
+	eng.Run()
+	if delivered {
+		t.Fatal("message crossed a VC with no route")
+	}
+}
+
+func TestPoliceChannelDropsNonConformingCells(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.NewATMLAN(eng, 2, netsim.ATMLANConfig{HostLinkBps: 140e6})
+	net.InstallChannelRoutes(3)
+	cfg := defaultCfg()
+	var nodes [2]*sim.Node
+	var eps [2]*SimATM
+	for i := 0; i < 2; i++ {
+		nodes[i] = eng.NewNode("host")
+		eps[i] = NewSimATM(nodes[i], net, i, cfg)
+		eps[i].SetHandler(func(m *transport.Message) {})
+	}
+	// Contract: 1000 cells/s with a 4-cell burst. A 10 KB message bursts
+	// ~200+ cells back to back, so most of them violate and are dropped at
+	// the adapter; the message cannot reassemble.
+	eps[0].PoliceChannel(1, 3, atm.NewGCRA(1000, 4))
+	delivered := false
+	eps[1].SetHandler(func(m *transport.Message) { delivered = true })
+	nodes[0].RT().Create("send", mts.PrioDefault, func(th *mts.Thread) {
+		eps[0].Send(th, &transport.Message{From: 0, To: 1, Channel: 3, Data: make([]byte, 10000)})
+	})
+	eng.Run()
+	if eps[0].PolicedCells() == 0 {
+		t.Fatal("policer never fired")
+	}
+	sent, policed := eps[0].VCStats(netsim.VCForChan(0, 1, 3))
+	if policed == 0 || sent+policed < 200 {
+		t.Fatalf("vc stats: sent=%d policed=%d", sent, policed)
+	}
+	if delivered {
+		t.Fatal("message survived despite policed cells")
+	}
+}
+
+func TestConformingChannelPassesPolicer(t *testing.T) {
+	// A generous contract lets the same burst through untouched.
+	eng := sim.NewEngine()
+	net := netsim.NewATMLAN(eng, 2, netsim.ATMLANConfig{HostLinkBps: 140e6})
+	net.InstallChannelRoutes(3)
+	cfg := defaultCfg()
+	var nodes [2]*sim.Node
+	var eps [2]*SimATM
+	for i := 0; i < 2; i++ {
+		nodes[i] = eng.NewNode("host")
+		eps[i] = NewSimATM(nodes[i], net, i, cfg)
+		eps[i].SetHandler(func(m *transport.Message) {})
+	}
+	eps[0].PoliceChannel(1, 3, atm.NewGCRA(1e6, 1000))
+	var got *transport.Message
+	eps[1].SetHandler(func(m *transport.Message) { got = m })
+	nodes[0].RT().Create("send", mts.PrioDefault, func(th *mts.Thread) {
+		eps[0].Send(th, &transport.Message{From: 0, To: 1, Channel: 3, Data: make([]byte, 10000)})
+	})
+	eng.Run()
+	if eps[0].PolicedCells() != 0 {
+		t.Fatalf("conforming traffic policed: %d cells", eps[0].PolicedCells())
+	}
+	if got == nil || len(got.Data) != 10000 {
+		t.Fatal("conforming message not delivered")
 	}
 }
 

@@ -99,13 +99,22 @@ func TestMessagesAvailable(t *testing.T) {
 	_, procs := memGroup(t, 2)
 	var before, after bool
 	procs[1].Go(func(th *mts.Thread) {
+		// Sample the empty state before green-lighting the sender: the
+		// two runtimes run concurrently in real time, so without the
+		// handshake the sends could land first.
 		before = procs[1].MessagesAvailable()
+		procs[1].Send(th, 2, 0, nil)
 		procs[1].Recv(th, nil, nil)
-		// A second message should already be queued.
+		// Wait for the second message to be queued (delivery is
+		// asynchronous), then probe it.
+		for !procs[1].MessagesAvailable() {
+			th.Yield()
+		}
 		after = procs[1].MessagesAvailable()
 		procs[1].Recv(th, nil, nil)
 	})
 	procs[0].Go(func(th *mts.Thread) {
+		procs[0].Recv(th, nil, nil) // green light
 		procs[0].Send(th, 1, 1, []byte("a"))
 		procs[0].Send(th, 1, 1, []byte("b"))
 	})

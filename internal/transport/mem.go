@@ -32,6 +32,10 @@ type Mem struct {
 	dropRNG   *rand.Rand
 	sendCount int
 	dropped   int
+	// dropClass, when set, restricts fault injection to messages it
+	// selects — e.g. only one channel's traffic — so tests can break one
+	// traffic class and assert another is unaffected.
+	dropClass func(*Message) bool
 }
 
 // NewMem returns an empty mesh.
@@ -62,6 +66,15 @@ func (n *Mem) SetDropRate(rate float64, seed int64) {
 	defer n.mu.Unlock()
 	n.dropRate = rate
 	n.dropRNG = rand.New(rand.NewSource(seed))
+}
+
+// SetDropClass restricts fault injection to messages fn selects (nil
+// selects everything again). The drop pattern/rate still decides *whether*
+// an eligible message drops; fn decides *which* traffic is eligible.
+func (n *Mem) SetDropClass(fn func(*Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropClass = fn
 }
 
 // Dropped returns how many messages were discarded by fault injection.
@@ -131,6 +144,9 @@ func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
 	drop := n.dropEvery > 0 && n.sendCount%n.dropEvery == 0
 	if !drop && n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {
 		drop = true
+	}
+	if drop && n.dropClass != nil && !n.dropClass(m) {
+		drop = false
 	}
 	if drop {
 		n.dropped++

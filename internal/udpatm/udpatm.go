@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/atm"
+	"repro/internal/list"
 	"repro/internal/mts"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -28,6 +30,13 @@ import (
 // both fabrics read the same: VPI 0, VCI = 64 + src*256 + dst.
 func VCFor(src, dst transport.ProcID) atm.VC {
 	return atm.VC{VPI: 0, VCI: uint16(64 + int(src)*256 + int(dst))}
+}
+
+// VCForChan maps an NCS channel onto its own VC, mirroring
+// netsim.VCForChan: the channel ID becomes the VPI over the same VCI mesh.
+// Channel 0 is identical to VCFor.
+func VCForChan(src, dst transport.ProcID, ch wire.ChannelID) atm.VC {
+	return atm.VC{VPI: uint8(ch), VCI: uint16(64 + int(src)*256 + int(dst))}
 }
 
 // MaxChunk is the message payload carried per AAL5 frame. The frame's
@@ -46,6 +55,21 @@ func NewNetwork() *Network {
 	return &Network{endpoints: make(map[transport.ProcID]*Endpoint)}
 }
 
+// vcTx is one VC's transmit queue: AAL5 frames (each one UDP datagram)
+// awaiting the writer, the VC's drain priority, and the optional GCRA
+// policer enforcing the VC's traffic contract at the emulated UNI.
+type vcTx struct {
+	vc   atm.VC
+	prio int
+	gcra *atm.GCRA
+	dst  *net.UDPAddr
+
+	frames list.FIFO[*wire.Buf]
+
+	cellsSent int64
+	policed   int64
+}
+
 // Endpoint is one process's ATM-over-UDP attachment.
 type Endpoint struct {
 	net  *Network
@@ -57,13 +81,36 @@ type Endpoint struct {
 	handler transport.Handler
 	seq     uint32
 
+	// Transmit side: per-VC queues drained by a single writer goroutine,
+	// highest priority first (FIFO within a VC). NCS channels map onto
+	// VCs (channel ID = VPI), so a channel's priority and traffic
+	// contract are enforced here, at the cell layer. Send blocks once
+	// maxQueuedFrames are outstanding (spaceCond) — the backpressure the
+	// old synchronous write loop provided implicitly — and Close drains
+	// the queues before closing the socket (writerDone).
+	txMu       sync.Mutex
+	txCond     *sync.Cond // work available
+	spaceCond  *sync.Cond // queue space available
+	queues     []*vcTx    // creation order; stable tie-break for equal priority
+	txByVC     map[atm.VC]*vcTx
+	queued     int // frames across all VC queues
+	txClosed   bool
+	writerDone chan struct{}
+	epoch      time.Time // GCRA clock origin
+	// linkClock emulates the cell clock of the physical link a real
+	// adapter would pace cells onto (nominal TAXI rate): it advances one
+	// cell time per transmitted cell, and GCRA conformance is judged at
+	// each cell's modeled departure — not at the datagram burst instant —
+	// mirroring nic.SimATM. Touched only by the writer goroutine.
+	linkClock time.Duration
+
 	// Receive-side state, touched only by the reader goroutine: per-VC
 	// cell reassembly (AAL5 frames) feeding per-VC chunk assembly
 	// (messages). Both tiers reuse grow-once buffers.
 	reasm map[atm.VC]*atm.Reassembler
 	asm   map[atm.VC]*wire.Assembler
 
-	cellsSent int64
+	cellsSent int64 // guarded by txMu (writer updates, accessors read)
 	cellsRecv int64
 	badCells  int64
 
@@ -85,14 +132,19 @@ func (n *Network) Attach(proc transport.ProcID, rt *mts.Runtime) (*Endpoint, err
 	conn.SetReadBuffer(8 << 20)
 	conn.SetWriteBuffer(4 << 20)
 	e := &Endpoint{
-		net:    n,
-		proc:   proc,
-		rt:     rt,
-		conn:   conn,
-		reasm:  make(map[atm.VC]*atm.Reassembler),
-		asm:    make(map[atm.VC]*wire.Assembler),
-		closed: make(chan struct{}),
+		net:        n,
+		proc:       proc,
+		rt:         rt,
+		conn:       conn,
+		txByVC:     make(map[atm.VC]*vcTx),
+		writerDone: make(chan struct{}),
+		epoch:      time.Now(),
+		reasm:      make(map[atm.VC]*atm.Reassembler),
+		asm:        make(map[atm.VC]*wire.Assembler),
+		closed:     make(chan struct{}),
 	}
+	e.txCond = sync.NewCond(&e.txMu)
+	e.spaceCond = sync.NewCond(&e.txMu)
 	n.mu.Lock()
 	if _, dup := n.endpoints[proc]; dup {
 		n.mu.Unlock()
@@ -102,6 +154,7 @@ func (n *Network) Attach(proc transport.ProcID, rt *mts.Runtime) (*Endpoint, err
 	n.endpoints[proc] = e
 	n.mu.Unlock()
 	go e.readLoop()
+	go e.writeLoop()
 	return e, nil
 }
 
@@ -113,6 +166,14 @@ func (e *Endpoint) Close() error {
 	default:
 	}
 	close(e.closed)
+	e.txMu.Lock()
+	e.txClosed = true
+	e.txCond.Broadcast()
+	e.spaceCond.Broadcast()
+	e.txMu.Unlock()
+	// Drain before closing the socket: every frame Send accepted is
+	// written (the guarantee the old synchronous write loop gave).
+	<-e.writerDone
 	return e.conn.Close()
 }
 
@@ -127,7 +188,11 @@ func (e *Endpoint) SetHandler(h transport.Handler) {
 }
 
 // CellsSent returns transmitted cell count.
-func (e *Endpoint) CellsSent() int64 { return e.cellsSent }
+func (e *Endpoint) CellsSent() int64 {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	return e.cellsSent
+}
 
 // CellsReceived returns received cell count.
 func (e *Endpoint) CellsReceived() int64 { return e.cellsRecv }
@@ -145,12 +210,55 @@ func (e *Endpoint) addrOf(p transport.ProcID) *net.UDPAddr {
 	return nil
 }
 
+// ConfigureChannel sets the drain priority (0..7, higher drained first)
+// and optional GCRA traffic contract of the VC that carries NCS channel ch
+// toward dst. Call before traffic flows on the channel; cells beyond the
+// contract are discarded at the emulated UNI (drop policy) — a frame that
+// loses a cell fails AAL5 CRC at the receiver, exactly the loss the NCS
+// error-control tier recovers.
+func (e *Endpoint) ConfigureChannel(dst transport.ProcID, ch wire.ChannelID, prio int, g *atm.GCRA) {
+	e.ConfigureVC(VCForChan(e.proc, dst, ch), prio, g)
+}
+
+// ConfigureVC is ConfigureChannel for an explicit VC.
+func (e *Endpoint) ConfigureVC(vc atm.VC, prio int, g *atm.GCRA) {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	q := e.queue(vc)
+	q.prio = prio
+	q.gcra = g
+}
+
+// VCStats reports a transmit VC's accounting: cells handed to the kernel
+// and cells discarded by the VC's policer.
+func (e *Endpoint) VCStats(vc atm.VC) (cellsSent, policed int64) {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	if q, ok := e.txByVC[vc]; ok {
+		return q.cellsSent, q.policed
+	}
+	return 0, 0
+}
+
+// queue returns vc's transmit queue, creating it at default priority.
+// Callers hold txMu.
+func (e *Endpoint) queue(vc atm.VC) *vcTx {
+	q, ok := e.txByVC[vc]
+	if !ok {
+		q = &vcTx{vc: vc}
+		e.txByVC[vc] = q
+		e.queues = append(e.queues, q)
+	}
+	return q
+}
+
 // Send implements transport.Endpoint: the message is chunked, each chunk
-// segmented into AAL5 cells, and each frame's cells written as one UDP
-// datagram. Loopback writes complete quickly, so the calling thread is not
-// parked; real network pacing would park here. The marshal, chunk, and
-// datagram buffers all come from the wire pool and are recycled as soon as
-// the kernel has copied the final datagram.
+// segmented into AAL5 cells, and each frame (one UDP datagram) is filed in
+// its VC's transmit queue — the VC the message's channel rides. A single
+// writer drains the queues highest-priority first, policing each VC's
+// cells against its GCRA contract. The message is fully serialized into
+// pooled frame buffers before Send returns, so the caller may reuse m and
+// m.Data; the buffers recycle once the kernel has copied each datagram.
 func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
 	if m.From != e.proc {
 		panic(fmt.Sprintf("udpatm: proc %d sending as %d", e.proc, m.From))
@@ -166,27 +274,144 @@ func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
 
 	wb := wire.GetBuf(m.WireSize())
 	wb.B = m.MarshalAppend(wb.B)
-	vc := VCFor(m.From, m.To)
+	vc := VCForChan(m.From, m.To, m.Channel)
 	ck := wire.NewChunker(wb.B, m.Seq, MaxChunk)
 	cb := wire.GetBuf(wire.ChunkHeaderSize + MaxChunk)
-	db := wire.GetBuf(atm.CellCount(wire.ChunkHeaderSize+MaxChunk) * atm.CellSize)
+	e.txMu.Lock()
+	q := e.queue(vc)
+	q.dst = dst
 	for {
 		chunk, ok := ck.Next(cb.B[:0])
 		if !ok {
 			break
 		}
-		dgram, err := atm.AppendCells(db.B[:0], vc, chunk)
+		// Backpressure: past the high-water mark the producer waits for
+		// the writer, pacing senders the way the old synchronous write
+		// loop did implicitly.
+		for e.queued >= maxQueuedFrames && !e.txClosed {
+			e.spaceCond.Wait()
+		}
+		if e.txClosed {
+			// The writer is gone; accepting frames would silently lose
+			// them. Fail as loudly as the old write-to-closed-socket
+			// path did.
+			e.txMu.Unlock()
+			wire.PutBuf(cb)
+			wire.PutBuf(wb)
+			panic(fmt.Sprintf("udpatm: proc %d Send after Close", e.proc))
+		}
+		fb := wire.GetBuf(atm.CellCount(len(chunk)) * atm.CellSize)
+		dgram, err := atm.AppendCells(fb.B, vc, chunk)
 		if err != nil {
+			e.txMu.Unlock()
 			panic("udpatm: segment: " + err.Error())
 		}
-		e.cellsSent += int64(len(dgram) / atm.CellSize)
-		if _, err := e.conn.WriteToUDP(dgram, dst); err != nil {
-			panic("udpatm: write: " + err.Error())
-		}
+		fb.B = dgram
+		q.frames.Push(fb)
+		e.queued++
+		e.txCond.Signal()
 	}
-	wire.PutBuf(db)
+	e.txMu.Unlock()
 	wire.PutBuf(cb)
 	wire.PutBuf(wb)
+}
+
+// maxQueuedFrames bounds frames outstanding across all VC transmit queues
+// (~2 MB of 8 KB AAL5 frames); past it Send waits for the writer.
+const maxQueuedFrames = 256
+
+// nominalLinkBps is the modeled physical-link rate the GCRA departure
+// clock paces cells at: the 140 Mbps TAXI interface of the paper's
+// testbed. cellWireTime is one 53-octet cell's serialization time on it.
+const nominalLinkBps = 140e6
+
+var cellWireTime = time.Duration(atm.CellSize * 8 * int64(time.Second) / int64(nominalLinkBps))
+
+// pickQueue returns the highest-priority non-empty transmit queue
+// (creation order breaks ties). Callers hold txMu.
+func (e *Endpoint) pickQueue() *vcTx {
+	var best *vcTx
+	for _, q := range e.queues {
+		if q.frames.Size() > 0 && (best == nil || q.prio > best.prio) {
+			best = q
+		}
+	}
+	return best
+}
+
+// writeLoop is the single transmit drain: it services per-VC queues in
+// priority order, applies each VC's GCRA policer cell by cell, and writes
+// each surviving frame as one UDP datagram. It exits — signalling
+// writerDone — only once the endpoint is closed *and* the queues are
+// drained, so Close never loses accepted frames.
+func (e *Endpoint) writeLoop() {
+	defer close(e.writerDone)
+	e.txMu.Lock()
+	for {
+		q := e.pickQueue()
+		if q == nil {
+			if e.txClosed {
+				e.txMu.Unlock()
+				return
+			}
+			e.txCond.Wait()
+			continue
+		}
+		fb := q.frames.Pop()
+		e.queued--
+		e.spaceCond.Signal()
+		gcra := q.gcra
+		dst := q.dst
+		e.txMu.Unlock()
+
+		dgram := fb.B
+		kept := len(dgram) / atm.CellSize
+		dropped := 0
+		if gcra != nil {
+			// UPC: compact conforming cells forward, discard the rest.
+			// Each cell is judged at its modeled wire departure on the
+			// nominal link — cells of one datagram leave one cell time
+			// apart, so a contract at or above the link's own cell rate
+			// conforms exactly (mirrors nic.SimATM's departure clock).
+			now := time.Since(e.epoch)
+			if e.linkClock < now {
+				e.linkClock = now
+			}
+			w := 0
+			for off := 0; off+atm.CellSize <= len(dgram); off += atm.CellSize {
+				depart := e.linkClock
+				e.linkClock += cellWireTime
+				if !gcra.Conforms(depart) {
+					dropped++
+					continue
+				}
+				if w != off {
+					copy(dgram[w:w+atm.CellSize], dgram[off:off+atm.CellSize])
+				}
+				w += atm.CellSize
+			}
+			dgram = dgram[:w]
+			kept = w / atm.CellSize
+		}
+		if len(dgram) > 0 {
+			if _, err := e.conn.WriteToUDP(dgram, dst); err != nil {
+				select {
+				case <-e.closed:
+					wire.PutBuf(fb)
+					e.txMu.Lock()
+					continue
+				default:
+					panic("udpatm: write: " + err.Error())
+				}
+			}
+		}
+		wire.PutBuf(fb)
+
+		e.txMu.Lock()
+		q.cellsSent += int64(kept)
+		q.policed += int64(dropped)
+		e.cellsSent += int64(kept)
+	}
 }
 
 // readLoop receives datagrams, validates and reassembles cells, and posts

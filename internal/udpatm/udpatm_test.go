@@ -169,6 +169,152 @@ func TestVCForMatchesNetsimConvention(t *testing.T) {
 	if vc.VPI != 0 || vc.VCI != 64+2*256+3 {
 		t.Fatalf("vc = %+v", vc)
 	}
+	cvc := VCForChan(2, 3, 9)
+	if cvc.VPI != 9 || cvc.VCI != vc.VCI {
+		t.Fatalf("channel vc = %+v", cvc)
+	}
+	if VCForChan(2, 3, 0) != vc {
+		t.Fatal("channel 0 must ride the default VC")
+	}
+}
+
+// TestChannelRidesOwnVCOverUDP: a nonzero-channel message reassembles on
+// its own VC and the per-VC accounting sees it there, not on the default
+// mesh.
+func TestChannelRidesOwnVCOverUDP(t *testing.T) {
+	net := NewNetwork()
+	rtA, rtB := newRT("a"), newRT("b")
+	epA, _ := net.Attach(0, rtA)
+	defer epA.Close()
+	epB, _ := net.Attach(1, rtB)
+	defer epB.Close()
+	epA.SetHandler(func(m *transport.Message) {})
+
+	var got *transport.Message
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *transport.Message) {
+		got = m
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil {
+			th.Park("msg")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &transport.Message{From: 0, To: 1, Channel: 6, Data: make([]byte, 20000)})
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if got == nil || got.Channel != 6 || len(got.Data) != 20000 {
+		t.Fatalf("channel-6 message not delivered intact: %+v", got)
+	}
+	if cells, _ := epA.VCStats(VCForChan(0, 1, 6)); cells == 0 {
+		t.Fatal("no cells accounted on the channel's VC")
+	}
+	if cells, _ := epA.VCStats(VCFor(0, 1)); cells != 0 {
+		t.Fatalf("%d cells leaked onto the default VC", cells)
+	}
+}
+
+// TestConformingContractOverUDP: a contract at the nominal link's own
+// cell rate must pass a full frame burst untouched — conformance is
+// judged at each cell's modeled wire departure, not at the datagram
+// burst instant.
+func TestConformingContractOverUDP(t *testing.T) {
+	net := NewNetwork()
+	rtA, rtB := newRT("a"), newRT("b")
+	epA, _ := net.Attach(0, rtA)
+	defer epA.Close()
+	epB, _ := net.Attach(1, rtB)
+	defer epB.Close()
+	epA.SetHandler(func(m *transport.Message) {})
+
+	// ~330k cells/s is the 140 Mbps link's own cell rate; a small burst
+	// tolerance suffices because departures are paced by the link clock.
+	epA.ConfigureChannel(1, 8, 0, atm.NewGCRA(400000, 4))
+	var got *transport.Message
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *transport.Message) {
+		got = m
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil {
+			th.Park("msg")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &transport.Message{From: 0, To: 1, Channel: 8, Data: make([]byte, 20000)})
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if _, policed := epA.VCStats(VCForChan(0, 1, 8)); policed != 0 {
+		t.Fatalf("conforming traffic policed: %d cells", policed)
+	}
+	if got == nil || len(got.Data) != 20000 {
+		t.Fatal("conforming message not delivered intact")
+	}
+}
+
+// TestPolicedChannelOverUDP: a channel whose traffic exceeds its GCRA
+// contract loses cells at the emulated UNI; a conforming message on the
+// default VC sails through untouched.
+func TestPolicedChannelOverUDP(t *testing.T) {
+	net := NewNetwork()
+	rtA, rtB := newRT("a"), newRT("b")
+	epA, _ := net.Attach(0, rtA)
+	defer epA.Close()
+	epB, _ := net.Attach(1, rtB)
+	defer epB.Close()
+	epA.SetHandler(func(m *transport.Message) {})
+
+	// 100 cells/s with a 2-cell burst: a 20 KB burst (400+ cells back to
+	// back) is mostly non-conforming.
+	epA.ConfigureChannel(1, 4, 5, atm.NewGCRA(100, 2))
+
+	var gotDefault *transport.Message
+	var gotPoliced bool
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *transport.Message) {
+		if m.Channel == 4 {
+			gotPoliced = true
+			return
+		}
+		gotDefault = m
+		rtB.Unblock(waiter, false)
+	})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if gotDefault == nil {
+			th.Park("msg")
+		}
+	})
+	rtA.Create("sender", mts.PrioDefault, func(th *mts.Thread) {
+		// The policed burst first (its VC has higher priority, so the
+		// writer drains it before the default frame below).
+		epA.Send(th, &transport.Message{From: 0, To: 1, Channel: 4, Data: make([]byte, 20000)})
+		epA.Send(th, &transport.Message{From: 0, To: 1, Data: []byte("conforming")})
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+	if gotDefault == nil || string(gotDefault.Data) != "conforming" {
+		t.Fatalf("default-channel message lost: %+v", gotDefault)
+	}
+	if _, policed := epA.VCStats(VCForChan(0, 1, 4)); policed == 0 {
+		t.Fatal("policer never fired on the over-contract channel")
+	}
+	if gotPoliced {
+		t.Fatal("over-contract message survived cell-level policing intact")
+	}
 }
 
 func TestCloseIdempotent(t *testing.T) {

@@ -28,6 +28,14 @@ type ProcID int
 // Any is the wildcard process value in receive matching (the paper's -1).
 const Any = -1
 
+// ChannelID identifies one NCS channel (virtual circuit) between a process
+// pair. Channel 0 is the default channel every process pair has implicitly;
+// nonzero channels are opened explicitly with their own QoS (flow control,
+// error control, priority). The ATM carriers map the channel ID onto the
+// VPI, so IDs above 255 cannot ride distinct VCs — the core enforces that
+// bound at open time.
+type ChannelID uint16
+
 // Message is one NCS/p4 message. Thread fields use the paper's addressing:
 // a message goes from (FromProc, FromThread) to (ToProc, ToThread). The p4
 // baseline leaves thread fields zero and uses Tag as the p4 message type.
@@ -42,16 +50,23 @@ type Message struct {
 	// ESeq is the end-to-end sequence used by NCS error control (go-back-N);
 	// endpoints carry it untouched.
 	ESeq uint32
-	Data []byte
+	// Channel is the NCS channel the message travels on; 0 is the default
+	// channel. Endpoints carry it untouched; the ATM carriers additionally
+	// use it to select the virtual circuit.
+	Channel ChannelID
+	Data    []byte
 }
 
 func (m *Message) String() string {
-	return fmt.Sprintf("msg{%d.%d->%d.%d tag=%d seq=%d %dB}",
-		m.From, m.FromThread, m.To, m.ToThread, m.Tag, m.Seq, len(m.Data))
+	return fmt.Sprintf("msg{%d.%d->%d.%d ch=%d tag=%d seq=%d %dB}",
+		m.From, m.FromThread, m.To, m.ToThread, m.Channel, m.Tag, m.Seq, len(m.Data))
 }
 
-// HeaderSize is the encoded header length in bytes.
-const HeaderSize = 32
+// HeaderSize is the encoded header length in bytes. Version 2 of the
+// format grew the header from 32 to 36 bytes: a 2-byte channel ID plus two
+// reserved bytes, and the magic was bumped so a v1 peer rejects v2 frames
+// loudly instead of misparsing them.
+const HeaderSize = 36
 
 // ErrShortMessage reports a truncated wire message.
 var ErrShortMessage = errors.New("wire: short message")
@@ -59,7 +74,7 @@ var ErrShortMessage = errors.New("wire: short message")
 // ErrMagic reports a wire message with a bad magic number.
 var ErrMagic = errors.New("wire: bad magic")
 
-const wireMagic = 0x4E435331 // "NCS1"
+const wireMagic = 0x4E435332 // "NCS2"
 
 // WireSize returns the encoded length of the message (header + payload).
 func (m *Message) WireSize() int { return HeaderSize + len(m.Data) }
@@ -80,6 +95,8 @@ func (m *Message) MarshalAppend(dst []byte) []byte {
 	binary.BigEndian.PutUint32(h[20:], uint32(int32(m.Tag)))
 	binary.BigEndian.PutUint32(h[24:], m.Seq)
 	binary.BigEndian.PutUint32(h[28:], m.ESeq)
+	binary.BigEndian.PutUint16(h[32:], uint16(m.Channel))
+	// h[34:36] reserved, zero.
 	return append(dst, m.Data...)
 }
 
@@ -100,6 +117,23 @@ func decodeHeader(m *Message, b []byte) {
 	m.Tag = int(int32(binary.BigEndian.Uint32(b[20:])))
 	m.Seq = binary.BigEndian.Uint32(b[24:])
 	m.ESeq = binary.BigEndian.Uint32(b[28:])
+	m.Channel = ChannelID(binary.BigEndian.Uint16(b[32:]))
+}
+
+// AppendUint32 appends v to dst big-endian. Control-message payload writers
+// (credits, acks, barrier generations) use it with reusable buffers so a
+// steady stream of acknowledgements encodes allocation-free.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Uint32 reads a big-endian uint32 from b, returning 0 when b is short —
+// the forgiving decode control handlers want for possibly-empty payloads.
+func Uint32(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
 }
 
 func checkWire(b []byte) error {

@@ -10,15 +10,42 @@ import (
 func TestMessageCodecRoundtrip(t *testing.T) {
 	m := &Message{
 		From: 3, To: 7, FromThread: 1, ToThread: 0, Tag: 42, Seq: 99, ESeq: 7,
-		Data: []byte("payload bytes"),
+		Channel: 12, Data: []byte("payload bytes"),
 	}
 	got, err := Unmarshal(m.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.From != 3 || got.To != 7 || got.FromThread != 1 || got.ToThread != 0 ||
-		got.Tag != 42 || got.Seq != 99 || got.ESeq != 7 || !bytes.Equal(got.Data, m.Data) {
+		got.Tag != 42 || got.Seq != 99 || got.ESeq != 7 || got.Channel != 12 ||
+		!bytes.Equal(got.Data, m.Data) {
 		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+// TestChannelRoundtripProperty: the v2 header carries any channel ID
+// losslessly, and the default channel encodes as zero.
+func TestChannelRoundtripProperty(t *testing.T) {
+	f := func(ch uint16) bool {
+		m := &Message{From: 1, To: 2, Channel: ChannelID(ch)}
+		got, err := Unmarshal(m.Marshal())
+		return err == nil && got.Channel == ChannelID(ch)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendUint32Roundtrip(t *testing.T) {
+	f := func(v uint32) bool {
+		b := AppendUint32(nil, v)
+		return len(b) == 4 && Uint32(b) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Uint32([]byte{1, 2}) != 0 {
+		t.Fatal("short Uint32 should read 0")
 	}
 }
 
