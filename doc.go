@@ -8,7 +8,11 @@
 // organized around per-channel QoS — the paper's NCS_init(flow, error)
 // configures the default channel, and Proc.Open creates further channels,
 // each with its own flow control, error control, and priority, mapped to
-// its own ATM virtual circuit in the cell-level carriers. bench_test.go in
+// its own ATM virtual circuit in the cell-level carriers. Window flow
+// control speaks an absolute-credit protocol (cumulative advertisements
+// plus a periodic window sync), so it survives carriers that drop control
+// frames as readily as data — no traffic class needs protecting on a
+// lossy fabric. bench_test.go in
 // this directory regenerates every table and figure of the paper's
 // evaluation via `go test -bench`, plus a per-channel throughput
 // benchmark that emits BENCH_channels.json.

@@ -7,12 +7,16 @@
 //     high priority — steady cadence for the viewer.
 //   - channel 2 "bulk": window flow + go-back-N — reliable throughput for
 //     the parallel application sharing the pair, over a transport that
-//     drops 10% of *its* traffic (fault injection aimed at the bulk class
-//     only).
+//     drops 20% of *everything* on the bulk channel: data frames, credit
+//     advertisements, and go-back-N acks alike. Nothing is protected —
+//     the cumulative-credit window protocol heals lost credits (any later
+//     advertisement supersedes a dropped one, and the periodic window
+//     sync re-advertises on idle), while go-back-N recovers the data.
 //
 // The demo shows the stream's inter-frame jitter staying tight and its
-// delivery untouched while go-back-N is busy recovering the bulk stream
-// next to it — channel isolation end-to-end.
+// delivery untouched while the bulk channel's window holds its full depth
+// through heavy control-plane loss next to it — channel isolation plus
+// loss-proof flow control, end-to-end.
 //
 //	go run ./examples/vodqos
 package main
@@ -36,11 +40,13 @@ func main() {
 	)
 
 	mem := transport.NewMem()
-	// Break only the bulk channel's data: drops on it must not disturb the
-	// video channel sharing the process pair. (Credits ride untouched —
-	// window flow relies on the error-control tier only for data.)
-	mem.SetDropRate(0.10, 1995)
-	mem.SetDropClass(func(m *transport.Message) bool { return m.Channel == 2 && m.Tag >= 0 })
+	// Break the bulk channel wholesale — data AND control. Credits and
+	// acks die as readily as payload frames; the credit protocol's
+	// cumulative advertisements and window-sync timer absorb the loss, so
+	// bulk window throughput holds while the video channel sharing the
+	// process pair never notices.
+	mem.SetDropRate(0.20, 1995)
+	mem.SetDropClass(func(m *transport.Message) bool { return m.Channel == 2 })
 
 	newProc := func(id int) *core.Proc {
 		rt := mts.New(mts.Config{Name: fmt.Sprintf("proc%d", id), IdleTimeout: 60 * time.Second})
@@ -136,7 +142,11 @@ func main() {
 	fmt.Println("client side:")
 	printStats("video", video1.Stats())
 	printStats("bulk", bulk1.Stats())
-	fmt.Printf("bulk recovery: %d messages dropped by the fabric, %d retransmissions, video untouched\n",
+	bulkFlow := bulk0.Flow().(*core.WindowFlow)
+	clientFlow := bulk1.Flow().(*core.WindowFlow)
+	fmt.Printf("bulk recovery: %d frames dropped by the fabric (data, credits, and acks alike), %d retransmissions, video untouched\n",
 		mem.Dropped(), bulk0.Error().(*core.GoBackN).Retransmissions())
-	fmt.Println("rate flow held the stream cadence; window+go-back-N carried the bulk class on its own channel")
+	fmt.Printf("credit protocol: %d stale adverts superseded, %d periodic window syncs, %d credits uncollected at exit\n",
+		bulkFlow.StaleCredits(), clientFlow.Syncs(), bulkFlow.Outstanding())
+	fmt.Println("rate flow held the stream cadence; window+go-back-N carried the bulk class through 20% loss on its own channel")
 }

@@ -10,9 +10,13 @@ import (
 
 // TestWindowedFlowAllocs pins steady-state heap allocations of the full
 // NCS windowed-flow path — Send through admission, Mem wire crossing,
-// delivery, credit return, and credit consumption — so regressions in the
-// control-message path (the old putUint32 allocated a fresh slice per
-// credit/ack) or the request/waiter freelists fail loudly.
+// delivery, cumulative-credit advertisement, and credit consumption — so
+// regressions in the control-message path (the old putUint32 allocated a
+// fresh slice per credit/ack) or the request/waiter freelists fail loudly.
+// The absolute-credit protocol adds a 4-byte cumulative payload to every
+// advertisement and a periodic window-sync timer; both must ride the
+// pooled control path, keeping the lossless-path overhead at zero extra
+// allocations per round.
 //
 // Both procs share one runtime so the measurement covers exactly one
 // send/recv/credit cycle per round with no cross-goroutine noise beyond
@@ -96,8 +100,24 @@ func TestWindowedFlowAllocs(t *testing.T) {
 	// Baseline with pooled control messages and wire append-helpers: ~6
 	// (two Mem frame+Message pairs — data and credit — plus scheduler
 	// hand-off). The pre-refactor path allocated a fresh credit Message,
-	// its 4-byte payload, and a sendReq per ack on top of that.
+	// its 4-byte payload, and a sendReq per ack on top of that; the
+	// absolute-credit protocol must not regress it (its payload reuses the
+	// pooled control buffer, and the sync timer re-arms a pre-bound func).
 	if avg > 9 {
 		t.Fatalf("windowed-flow round allocates %.1f/op, want <= 9", avg)
+	}
+
+	// Protocol bookkeeping must have stayed consistent across the run:
+	// every data message (4 warmup + measured rounds + the sentinel) was
+	// admitted and delivered, and the cumulative counters agree to within
+	// the credits still in flight at teardown.
+	sflow := pa.DefaultChannel(1).Flow().(*WindowFlow)
+	rflow := pb.DefaultChannel(0).Flow().(*WindowFlow)
+	wantMsgs := uint32(rounds) + 1 // + zero-length sentinel
+	if sflow.sent != wantMsgs || rflow.delivered != wantMsgs {
+		t.Fatalf("counter drift: sent %d, delivered %d, want %d", sflow.sent, rflow.delivered, wantMsgs)
+	}
+	if out := sflow.Outstanding(); out < 0 || out > 2 {
+		t.Fatalf("outstanding %d beyond window at teardown", out)
 	}
 }

@@ -80,6 +80,7 @@ type Channel struct {
 	priority int
 	flow     FlowControl
 	errc     ErrorControl
+	closed   bool
 
 	sent, received           int64
 	bytesSent, bytesReceived int64
@@ -170,6 +171,37 @@ func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
 	return nil, false
 }
 
+// Close tears the channel down from this end: the disciplines shut down —
+// the window-sync and pacing timers stop, and sends still gated inside a
+// discipline *fail* (their callers unblock and the proc's exception
+// handler reports how many were abandoned) instead of hanging forever.
+// Further Sends on the channel panic. The channel stays in the proc's
+// table so late control traffic (credits, acks) is still consumed and
+// error control can finish draining its in-flight window — data already
+// admitted still flushes to the wire. Arriving data is dropped through the
+// exception handler, like data on a channel that was never opened. Call
+// from a thread of this process (or any scheduler-domain context);
+// idempotent.
+//
+// Close is one-sided: there is no teardown signaling to the peer (the
+// SVC signaling story is separate), so a peer still transmitting into a
+// closed channel sees its error-control tier retry and eventually give
+// up, exactly as against a dead process.
+func (c *Channel) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.flow.shutdown()
+	c.errc.shutdown()
+	// Error control may have been holding the only reference that kept the
+	// system threads alive; re-check now that deferred work is failed.
+	c.p.checkShutdownWake()
+}
+
+// Closed reports whether Close has been called on this end.
+func (c *Channel) Closed() bool { return c.closed }
+
 // ID returns the channel identifier (0 for the default channel).
 func (c *Channel) ID() ChannelID { return c.id }
 
@@ -243,6 +275,9 @@ func (c *Channel) TryRecv(t *Thread, fromThread int) (data []byte, from Addr, ok
 // calling thread until the transfer is handed to the network — the shared
 // body of Thread.Send and Channel.Send.
 func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
+	if c.closed {
+		panic(fmt.Sprintf("core(proc %d): send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
+	}
 	p.traceThread(t, trace.Idle)
 	req := p.getReq()
 	req.m = m

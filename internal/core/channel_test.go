@@ -195,6 +195,222 @@ func TestChannelValidation(t *testing.T) {
 	runReal(procs)
 }
 
+// TestCloseFailsWindowGatedSends: a thread blocked in Send because window
+// flow deferred its request must not hang forever when the channel closes
+// — Close fails the gated send, the caller unblocks, and the exception
+// handler reports the abandonment. Further sends panic.
+func TestCloseFailsWindowGatedSends(t *testing.T) {
+	mem := transport.NewMem()
+	procs := realCluster(t, 2, mem, nil)
+	var caught []error
+	procs[0].OnException(func(err error) { caught = append(caught, err) })
+	// The receiving end runs no flow control, so it never returns credits:
+	// the sender's second message gates forever until Close fails it.
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Flow: NewWindowFlow(1)})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 1})
+	flow0 := ch0.Flow().(*WindowFlow)
+
+	var sendReturned, sendAfterClosePanicked bool
+	procs[0].TCreate("blocked", mts.PrioDefault, func(th *Thread) {
+		ch0.Send(th, 0, []byte("one")) // consumes the single credit
+		ch0.Send(th, 0, []byte("two")) // gated: returns only via Close
+		sendReturned = true
+	})
+	procs[0].TCreate("closer", mts.PrioDefault, func(th *Thread) {
+		for flow0.deferred.Size() == 0 { // until "blocked" gates
+			th.Yield()
+		}
+		ch0.Close()
+		if !ch0.Closed() {
+			t.Error("Closed() false after Close")
+		}
+		func() {
+			defer func() { sendAfterClosePanicked = recover() != nil }()
+			ch0.Send(th, 0, []byte("three"))
+		}()
+	})
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		ch1.Recv(th, Any) // only the first message ever arrives
+	})
+	runReal(procs)
+
+	if !sendReturned {
+		t.Fatal("gated send never returned after Close")
+	}
+	if !sendAfterClosePanicked {
+		t.Fatal("Send on a closed channel did not panic")
+	}
+	if len(caught) == 0 {
+		t.Fatal("Close failed a gated send without reporting it")
+	}
+}
+
+// TestCloseFailsRatePacedSends: same property for the pacing discipline —
+// a send waiting for tokens fails at Close instead of hanging, and the
+// pacing timer still in flight must no-op after close instead of
+// re-enqueuing a dead request.
+func TestCloseFailsRatePacedSends(t *testing.T) {
+	mem := transport.NewMem()
+	procs := realCluster(t, 2, mem, nil)
+	var caught []error
+	procs[0].OnException(func(err error) { caught = append(caught, err) })
+	// 1 KB/s: the second 1 KB message waits ~1 s for tokens — far beyond
+	// the close point.
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Flow: NewRateFlow(1000, 1000)})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 1})
+	rate0 := ch0.Flow().(*RateFlow)
+
+	var sendReturned bool
+	start := time.Now()
+	procs[0].TCreate("blocked", mts.PrioDefault, func(th *Thread) {
+		ch0.Send(th, 0, make([]byte, 1000)) // drains the bucket
+		ch0.Send(th, 0, make([]byte, 1000)) // paced ~1 s out: fails at Close
+		sendReturned = true
+	})
+	procs[0].TCreate("closer", mts.PrioDefault, func(th *Thread) {
+		for rate0.deferred.Size() == 0 { // until "blocked" is paced
+			th.Yield()
+		}
+		ch0.Close()
+	})
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		ch1.Recv(th, Any)
+	})
+	runReal(procs)
+
+	if !sendReturned {
+		t.Fatal("paced send never returned after Close")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("close took %v: the paced send waited for tokens instead of failing", elapsed)
+	}
+	if len(caught) == 0 {
+		t.Fatal("Close failed a paced send without reporting it")
+	}
+}
+
+// TestCloseFailsSendQueuedRequest drives the Send-races-Close window: the
+// request is already past sendOn's closed check and queued in the send
+// system thread's priority queue (the send thread is busy draining a bulk
+// transfer) when Close runs. The send loop must fail it on pop — caller
+// unblocked, exception raised — instead of admitting it into a torn-down
+// discipline or panicking.
+func TestCloseFailsSendQueuedRequest(t *testing.T) {
+	eng, procs := simCluster(t, 2, nil)
+	var caught []error
+	procs[0].OnException(func(err error) { caught = append(caught, err) })
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 5, Flow: NewWindowFlow(4)})
+	procs[1].Open(0, ChannelConfig{ID: 5, Flow: NewWindowFlow(4)})
+
+	var sendReturned bool
+	// Creation order fixes run order: "bulk" occupies the send thread with
+	// a long wire drain; "racer" then queues a channel-5 send behind it;
+	// "closer" closes the channel while that request still sits in sendQ.
+	procs[0].TCreate("bulk", mts.PrioDefault, func(th *Thread) {
+		th.Send(0, 1, make([]byte, 4<<20)) // ~0.3 s of virtual drain time
+	})
+	procs[0].TCreate("racer", mts.PrioDefault, func(th *Thread) {
+		th.Compute(time.Millisecond, nil)
+		ch0.Send(th, 1, []byte("queued behind bulk"))
+		sendReturned = true
+	})
+	procs[0].TCreate("closer", mts.PrioDefault, func(th *Thread) {
+		th.Compute(2*time.Millisecond, nil) // after racer queued, before pop
+		ch0.Close()
+	})
+	procs[1].TCreate("drain", mts.PrioDefault, func(th *Thread) {
+		th.Recv(Any, Any) // the bulk message; channel-5 message must die
+	})
+	eng.Run()
+
+	if !sendReturned {
+		t.Fatal("queued send never returned after Close")
+	}
+	if len(caught) == 0 {
+		t.Fatal("send-races-Close was not reported through the exception handler")
+	}
+}
+
+// TestCloseFailsGoBackNGatedSends: the same no-hang property for the
+// error-control tier — a send deferred by a full go-back-N window fails at
+// Close, while the in-flight window keeps draining (and, with the peer
+// never acking, is eventually abandoned through the exception handler).
+func TestCloseFailsGoBackNGatedSends(t *testing.T) {
+	mem := transport.NewMem()
+	procs := realCluster(t, 2, mem, nil)
+	var caught []error
+	procs[0].OnException(func(err error) { caught = append(caught, err) })
+	gbn := NewGoBackN(1, 5*time.Millisecond)
+	gbn.MaxRetries = 3
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Error: gbn})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 1}) // no error control: never acks
+
+	var sendReturned bool
+	procs[0].TCreate("blocked", mts.PrioDefault, func(th *Thread) {
+		ch0.Send(th, 0, []byte("one")) // fills the 1-message ARQ window
+		ch0.Send(th, 0, []byte("two")) // deferred: returns only via Close
+		sendReturned = true
+	})
+	procs[0].TCreate("closer", mts.PrioDefault, func(th *Thread) {
+		for len(gbn.deferred) == 0 { // until "blocked" gates
+			th.Yield()
+		}
+		ch0.Close()
+	})
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		ch1.Recv(th, Any)
+	})
+	runReal(procs)
+
+	if !sendReturned {
+		t.Fatal("go-back-N-gated send never returned after Close")
+	}
+	if len(caught) == 0 {
+		t.Fatal("Close failed a gated send without reporting it")
+	}
+}
+
+// TestRateFlowPreservesFIFO: a small message submitted while a large one
+// is waiting for tokens must queue behind it, not overtake it on its
+// smaller deficit — the paced channel is FIFO. (The old implementation
+// re-enqueued each deferred request on its own timer, so the small
+// message's shorter wait let it leapfrog the large one.)
+func TestRateFlowPreservesFIFO(t *testing.T) {
+	mem := transport.NewMem()
+	// 100 KB/s with a one-big-message bucket: big #1 passes instantly,
+	// big #2 waits ~80 ms for tokens.
+	procs := realCluster(t, 2, mem, func(i int) (FlowControl, ErrorControl) {
+		return NewRateFlow(1e5, 8000), nil
+	})
+	rate0 := procs[0].DefaultChannel(1).Flow().(*RateFlow)
+	var order []int
+	procs[0].TCreate("big", mts.PrioDefault, func(th *Thread) {
+		th.Send(0, 1, make([]byte, 8000))
+		th.Send(0, 1, make([]byte, 8000))
+	})
+	procs[0].TCreate("small", mts.PrioDefault, func(th *Thread) {
+		for rate0.deferred.Size() == 0 { // until big #2 is token-gated
+			th.Yield()
+		}
+		// A 100 B message: its own deficit clears in ~1 ms, 80× sooner
+		// than big #2's. It must still queue behind it.
+		th.Send(0, 1, make([]byte, 100))
+	})
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < 3; k++ {
+			data, _ := th.Recv(Any, Any)
+			order = append(order, len(data))
+		}
+	})
+	runReal(procs)
+	want := []int{8000, 8000, 100}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("paced channel reordered: sizes %v, want %v", order, want)
+		}
+	}
+}
+
 // TestPrioQueueOrder pins the queue discipline the system threads dispatch
 // by: higher levels drain first, FIFO within a level, prepend jumps the
 // line of its own level only.

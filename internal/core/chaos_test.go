@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"repro/internal/mts"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // TestQuickChaosTraffic drives random all-to-all traffic through simulated
@@ -182,5 +184,209 @@ func TestChannelIsolationUnderLoss(t *testing.T) {
 				t.Fatal("bulk channel never retransmitted — loss did not exercise recovery")
 			}
 		})
+	}
+}
+
+// syncedWindow builds a WindowFlow with a sync period short enough that a
+// lost trailing credit heals within test timescales.
+func syncedWindow(window int) *WindowFlow {
+	w := NewWindowFlow(window)
+	w.SyncInterval = 5 * time.Millisecond
+	return w
+}
+
+// TestWindowRecoveryUnderCreditLoss is the credit-protocol chaos test: the
+// fabric eats flow-control frames (and, in the second variant, every kind
+// of frame), and the windowed channel must keep its full window — under
+// the old per-delivery credit pulses each lost tagFlowAck permanently
+// shrank the window until the sender deadlocked. Cumulative advertisements
+// plus the periodic window-sync timer make the window self-healing.
+func TestWindowRecoveryUnderCreditLoss(t *testing.T) {
+	// Variant 1: only control frames are lossy (50%!), data rides clean —
+	// window flow alone, no error-control tier to lean on. The run
+	// completing at all proves recovery: with window 4 and ~30 dropped
+	// credits, a non-idempotent credit scheme deadlocks almost instantly.
+	t.Run("credit-only-loss", func(t *testing.T) {
+		const window, n = 4, 60
+		mem := transport.NewMem()
+		mem.SetDropRate(0.5, 1995)
+		mem.SetDropClass(func(m *transport.Message) bool { return m.Tag < 0 })
+		procs := realCluster(t, 2, mem, nil)
+		ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Flow: syncedWindow(window)})
+		ch1 := procs[1].Open(0, ChannelConfig{ID: 1, Flow: syncedWindow(window)})
+		flow0 := ch0.Flow().(*WindowFlow)
+
+		windowHealed := false
+		procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
+			for k := 0; k < n; k++ {
+				ch0.Send(th, 0, []byte{byte(k)})
+				if out := flow0.Outstanding(); out > window {
+					t.Errorf("window violated: %d outstanding", out)
+				}
+			}
+			th.Recv(Any, 1) // receiver's done marker (default channel, lossless)
+			// The advert for the last delivery may well have been dropped;
+			// the receiver's periodic sync must re-open the window fully.
+			deadline := time.Now().Add(5 * time.Second)
+			for flow0.Outstanding() != 0 && time.Now().Before(deadline) {
+				th.Yield()
+			}
+			windowHealed = flow0.Outstanding() == 0
+			th.Send(0, 1, nil) // release the receiver
+		})
+		var got int
+		procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+			for k := 0; k < n; k++ {
+				ch1.Recv(th, Any)
+				got++
+			}
+			th.Send(0, 0, []byte("done"))
+			th.Recv(Any, 0) // stay alive: the sync timer must keep advertising
+		})
+		runReal(procs)
+
+		if got != n {
+			t.Fatalf("delivered %d of %d", got, n)
+		}
+		if mem.Dropped() == 0 {
+			t.Fatal("fault injection never dropped anything — test proves nothing")
+		}
+		if !windowHealed {
+			t.Fatalf("window never fully re-opened: %d still outstanding", flow0.Outstanding())
+		}
+	})
+
+	// Variant 2: the acceptance scenario — 20% of *all* frames die, data
+	// and control alike, with go-back-N recovering the data tier and the
+	// cumulative-credit protocol recovering the flow tier. Nothing is
+	// special-cased or protected.
+	t.Run("all-frames-20pct", func(t *testing.T) {
+		const window, n = 4, 60
+		mem := transport.NewMem()
+		mem.SetDropRate(0.20, 42)
+		procs := realCluster(t, 2, mem, nil)
+		for _, p := range procs {
+			p.OnException(func(error) {}) // trailing-ack give-up after peer exit
+		}
+		gbn := func() ErrorControl { return NewGoBackN(8, 10*time.Millisecond) }
+		ch0 := procs[0].Open(1, ChannelConfig{ID: 2, Flow: syncedWindow(window), Error: gbn()})
+		ch1 := procs[1].Open(0, ChannelConfig{ID: 2, Flow: syncedWindow(window), Error: gbn()})
+		flow0 := ch0.Flow().(*WindowFlow)
+
+		procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
+			for k := 0; k < n; k++ {
+				ch0.Send(th, 0, []byte{byte(k)})
+				if out := flow0.Outstanding(); out > window {
+					t.Errorf("window violated: %d outstanding", out)
+				}
+			}
+		})
+		var got []int
+		procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+			for k := 0; k < n; k++ {
+				data, _ := ch1.Recv(th, Any)
+				got = append(got, int(data[0]))
+			}
+		})
+		runReal(procs)
+
+		if len(got) != n {
+			t.Fatalf("delivered %d of %d", len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("reordered at %d: %v", i, got)
+			}
+		}
+		if mem.Dropped() == 0 {
+			t.Fatal("fault injection never dropped anything — test proves nothing")
+		}
+	})
+}
+
+// TestWindowSyncHealsLostFinalCredit pins the window-sync timer
+// specifically: every per-delivery credit advertisement is destroyed while
+// the sender runs its window dry, then the credit path is restored with
+// *no further deliveries happening* — only the periodic re-advertisement
+// of the cumulative count can re-open the window.
+func TestWindowSyncHealsLostFinalCredit(t *testing.T) {
+	const window, n = 2, 6
+	var blockCredits atomic.Bool
+	blockCredits.Store(true)
+	mem := transport.NewMem()
+	mem.SetDropRate(1.0, 1)
+	mem.SetDropClass(func(m *transport.Message) bool { return m.Tag < 0 && blockCredits.Load() })
+	procs := realCluster(t, 2, mem, nil)
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Flow: syncedWindow(window)})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 1, Flow: syncedWindow(window)})
+	recvFlow := ch1.Flow().(*WindowFlow)
+
+	procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < n; k++ {
+			ch0.Send(th, 0, []byte{byte(k)}) // stalls at k==window until a sync lands
+		}
+	})
+	var got int
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < n; k++ {
+			ch1.Recv(th, Any)
+			got++
+			if got == window {
+				// The sender is now stalled and every credit so far is
+				// gone. Re-opening the credit path lets only the *timer*
+				// heal it: no new delivery will generate an advert.
+				blockCredits.Store(false)
+			}
+		}
+	})
+	runReal(procs)
+
+	if got != n {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+	if recvFlow.Syncs() == 0 {
+		t.Fatal("window re-opened without a periodic sync — the stall never happened or credits leaked")
+	}
+}
+
+// TestCreditsNeverMoveBackwards is the cumulative-credit property test:
+// for arbitrary interleavings of duplicated, reordered, and stale
+// advertisements (including counter wrap-around), the sender's credited
+// count is monotone in serial-number order, the window invariant holds,
+// and the newest advertisement always heals the window completely.
+func TestCreditsNeverMoveBackwards(t *testing.T) {
+	f := func(seed int64, windowRaw uint8, start uint32, opsRaw uint8) bool {
+		window := int(windowRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWindowFlow(window)
+		w.sent, w.credited = start, start
+		delivered := start
+		var adverts []uint32
+		ops := int(opsRaw) + 20
+		for i := 0; i < ops; i++ {
+			if w.outstanding() < window && rng.Intn(2) == 0 {
+				w.sent++    // sender admits a message
+				delivered++ // ...and the peer eventually delivers it
+				adverts = append(adverts, delivered)
+			}
+			if len(adverts) > 0 {
+				// Replay a random advert: possibly stale, possibly a dup.
+				prev := w.credited
+				adv := adverts[rng.Intn(len(adverts))]
+				w.onControl(&transport.Message{Data: wire.AppendUint32(nil, adv)})
+				if wire.SeqNewer(prev, w.credited) {
+					return false // credits moved backwards
+				}
+				if out := w.outstanding(); out < 0 || out > window {
+					return false // window invariant broken
+				}
+			}
+		}
+		// The newest advertisement supersedes every lost or stale one.
+		w.onControl(&transport.Message{Data: wire.AppendUint32(nil, delivered)})
+		return w.credited == delivered && w.outstanding() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

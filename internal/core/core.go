@@ -384,6 +384,33 @@ func (p *Proc) putReq(req *sendReq) {
 	p.reqFree = append(p.reqFree, req)
 }
 
+// failSend completes a gated send without transmitting it: the request is
+// recycled and its caller (a thread parked in Send) unblocks. Disciplines
+// use it at shutdown so a channel closing with deferred requests never
+// leaves a Send hung forever; the caller cannot observe the failure
+// directly (Send returns no error), so the failure is reported through
+// the proc's exception handler.
+func (p *Proc) failSend(req *sendReq) {
+	caller := req.caller
+	p.putReq(req)
+	if caller != nil {
+		p.cfg.RT.Unblock(caller, false)
+	}
+}
+
+// failGated fails a batch of gated sends at channel teardown and reports
+// them once through the exception handler — the shared tail of every
+// discipline's shutdown.
+func (p *Proc) failGated(c *Channel, reqs []*sendReq, gate string) {
+	if len(reqs) == 0 {
+		return
+	}
+	for _, req := range reqs {
+		p.failSend(req)
+	}
+	p.exception(fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
+}
+
 // enqueueSend queues a request under its channel's priority level and wakes
 // the send thread if it is parked at its idle point. If it is instead
 // parked mid-transfer (wire drain, flow credit, a charged CPU burst), it
@@ -409,7 +436,11 @@ func (p *Proc) enqueueSend(req *sendReq) {
 // sendCtrl queues a pooled control message: tag < 0, an optional uint32
 // payload, addressed to the given peer and channel. The message and its
 // 4-byte payload buffer recycle once the endpoint has serialized them, so
-// a steady stream of credits/acks allocates nothing.
+// a steady stream of credits/acks allocates nothing. Flow- and error-
+// control payloads are *cumulative* counters (credit advertisements,
+// cumulative acks) compared wrap-safely with wire.SeqNewer at the
+// receiver, so those control frames survive lossy carriers: any later
+// frame supersedes a dropped one.
 func (p *Proc) sendCtrl(to ProcID, ch ChannelID, tag int, payload uint32, withPayload bool) {
 	m := p.getCtrlMsg()
 	m.From = p.cfg.ID
@@ -465,6 +496,17 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 		// acks, retransmissions — raw requests bypass admission) is
 		// waiting behind it.
 		if req.m.Tag >= 0 && !req.raw {
+			if req.ch.closed {
+				// The channel closed while this request sat queued (Send
+				// raced Close): fail it exactly like shutdown failed the
+				// already-deferred ones, before any discipline can admit
+				// it into a torn-down window. Read the address before
+				// failSend recycles the request.
+				ch, to := req.m.Channel, req.m.To
+				p.failSend(req)
+				p.exception(fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
+				continue
+			}
 			if !req.flowOK {
 				if !req.ch.flow.admit(req) {
 					continue
@@ -637,6 +679,13 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 			p.exception(fmt.Errorf("data on unopened channel %d from proc %d", m.Channel, m.From))
 			continue
 		}
+		if c.closed {
+			// This end tore the channel down; without teardown signaling
+			// the peer may still be transmitting. Drop, and let its error
+			// control give up as against a dead process.
+			p.exception(fmt.Errorf("data on closed channel %d from proc %d", m.Channel, m.From))
+			continue
+		}
 		// Error control may suppress duplicates / out-of-order arrivals.
 		if !c.errc.onData(m) {
 			continue
@@ -668,6 +717,9 @@ func (p *Proc) dispatchData(rt *mts.Thread, m *transport.Message) {
 func (p *Proc) handleControl(m *transport.Message) {
 	switch m.Tag {
 	case tagFlowAck, tagGBNAck:
+		// A closed channel stays in the table and still consumes control:
+		// error control needs late acks to finish draining its in-flight
+		// window, and cumulative credit advertisements are idempotent.
 		c, ok := p.lookupChannel(m.From, m.Channel)
 		if !ok {
 			p.exception(fmt.Errorf("control tag %d on unopened channel %d from proc %d", m.Tag, m.Channel, m.From))

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // ErrorControl is the pluggable error-control discipline (the paper's error
@@ -36,6 +37,9 @@ type ErrorControl interface {
 	// pending reports in-flight messages still awaiting acknowledgement;
 	// the process's system threads stay alive while it is non-zero.
 	pending() int
+	// shutdown fails admission-deferred requests (their callers unblock)
+	// but leaves the in-flight window draining: already-admitted data
+	// still flushes, timers and all. Idempotent.
 	shutdown()
 }
 
@@ -186,7 +190,7 @@ func (g *GoBackN) onData(m *transport.Message) bool {
 		g.expected++
 		g.sendAck(g.expected - 1)
 		return true
-	case m.ESeq < g.expected:
+	case wire.SeqNewer(g.expected, m.ESeq):
 		// Duplicate: re-ack so the sender's window slides.
 		g.sendAck(g.expected - 1)
 		return false
@@ -201,10 +205,12 @@ func (g *GoBackN) sendAck(upTo uint32) {
 	g.p.sendCtrl(g.ch.peer, g.ch.id, tagGBNAck, upTo, true)
 }
 
+// onControl slides the window up to a cumulative ack. Comparisons are
+// wrap-safe (wire.SeqNewer), like the flow tier's credit advertisements.
 func (g *GoBackN) onControl(m *transport.Message) {
 	acked := ctrlPayload(m)
 	progressed := false
-	for len(g.unacked) > 0 && g.unacked[0].ESeq <= acked {
+	for len(g.unacked) > 0 && !wire.SeqNewer(g.unacked[0].ESeq, acked) {
 		g.unacked = g.unacked[1:]
 		g.base++
 		progressed = true
@@ -228,4 +234,12 @@ func (g *GoBackN) releaseDeferred() {
 
 func (g *GoBackN) pending() int { return len(g.unacked) }
 
-func (g *GoBackN) shutdown() {}
+// shutdown fails deferred requests so a Send gated on window space cannot
+// hang across Channel.Close. The unacked window keeps retransmitting —
+// admitted data still flushes (pending() holds the system threads alive),
+// bounded by MaxRetries if the peer is gone.
+func (g *GoBackN) shutdown() {
+	reqs := g.deferred
+	g.deferred = nil
+	g.p.failGated(g.ch, reqs, "go-back-N")
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/list"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -32,10 +33,14 @@ type FlowControl interface {
 	// the request for deferred re-enqueue (false).
 	admit(req *sendReq) bool
 	// onDelivered runs when a data message has been delivered locally and
-	// may generate control traffic (e.g. a credit return).
+	// may generate control traffic (e.g. a credit advertisement).
 	onDelivered(m *transport.Message)
 	// onControl consumes this discipline's control messages.
 	onControl(m *transport.Message)
+	// shutdown tears the discipline down: timers stop and requests still
+	// gated inside it fail (their callers unblock; the proc's exception
+	// handler reports them). Runs at Channel.Close and at process close;
+	// it must be idempotent.
 	shutdown()
 }
 
@@ -52,17 +57,71 @@ func (NoFlowControl) onDelivered(*transport.Message) {}
 func (NoFlowControl) onControl(*transport.Message)   {}
 func (NoFlowControl) shutdown()                      {}
 
+// DefaultWindowSyncInterval is the period of WindowFlow's window-sync
+// timer when the channel does not configure its own.
+const DefaultWindowSyncInterval = 50 * time.Millisecond
+
 // WindowFlow is credit-based flow control: at most Window messages may be
 // outstanding (sent but not credited back) on the channel. Suited to the
 // parallel/distributed application class in Figure 5 (bursty, loss-averse).
+//
+// The credit protocol is loss-proof by construction — it must be, because
+// the carriers the paper targets (ATM fabrics under GCRA policing) drop
+// cells, and a control frame is as mortal as a data frame. Instead of
+// per-delivery credit pulses (where one lost pulse permanently shrinks the
+// window), the receiver advertises its *cumulative* delivered count in
+// every tagFlowAck payload. Credits are therefore idempotent and
+// self-superseding: any later advertisement carries everything a lost one
+// did, and wire.SeqNewer ordering makes duplicates and reorderings
+// harmless. A periodic window-sync timer (cfg.After, so it ticks under
+// both real and virtual clocks) re-advertises the count on idle channels,
+// recovering even a lost *final* credit that no further delivery would
+// ever repair.
+//
+// Flow control recovers lost credits, not lost data: a data message the
+// carrier eats is the error-control tier's to retransmit (compose with
+// GoBackN or SelectiveRepeat on lossy fabrics). Once error control
+// redelivers it, the receiver's cumulative count advances and the window
+// reopens.
 type WindowFlow struct {
 	// Window is the channel's credit (>= 1).
 	Window int
+	// SyncInterval is the window-sync re-advertisement period; 0 selects
+	// DefaultWindowSyncInterval. Set it below the carrier's loss-recovery
+	// timescale so a dropped credit stalls the sender at most one period.
+	SyncInterval time.Duration
 
-	c        *Channel
-	credits  int
-	deferred []*sendReq
+	c      *Channel
+	closed bool
+
+	// Sender side: absolute counters (serial-number arithmetic, so wrap is
+	// fine). sent counts data messages admitted on the channel; credited is
+	// the highest cumulative delivered count the peer has advertised.
+	// outstanding = sent - credited, and admission holds it under Window.
+	sent     uint32
+	credited uint32
+	deferred list.FIFO[*sendReq]
+
+	// Receiver side: cumulative count of data messages delivered locally,
+	// advertised to the peer on every delivery and on every sync tick.
+	delivered uint32
+	syncOn    bool
+	syncFn    func()
+	// idleSyncs counts consecutive sync ticks with no intervening
+	// delivery; past maxIdleSyncs the timer stops re-arming so a
+	// long-lived idle channel does not chatter forever (the next delivery
+	// re-arms it).
+	idleSyncs int
+
+	syncs int64 // periodic re-advertisements sent
+	stale int64 // stale/duplicate advertisements ignored
 }
+
+// maxIdleSyncs bounds consecutive re-advertisements on an idle channel.
+// Recovery of a lost final credit fails only if all of them are lost
+// (loss-rate^25 — negligible on any fabric worth running on), and each
+// delivery burst costs at most this many idle control frames.
+const maxIdleSyncs = 25
 
 // NewWindowFlow returns a window-based discipline.
 func NewWindowFlow(window int) *WindowFlow {
@@ -75,49 +134,124 @@ func NewWindowFlow(window int) *WindowFlow {
 // Name implements FlowControl.
 func (w *WindowFlow) Name() string { return "window" }
 
-func (w *WindowFlow) fork() FlowControl { return NewWindowFlow(w.Window) }
+func (w *WindowFlow) fork() FlowControl {
+	f := NewWindowFlow(w.Window)
+	f.SyncInterval = w.SyncInterval
+	return f
+}
 
 func (w *WindowFlow) init(c *Channel) {
 	if w.c != nil {
 		panic("core: FlowControl instance bound to two channels; pass a fresh instance per channel")
 	}
 	w.c = c
-	w.credits = w.Window
+	if w.SyncInterval <= 0 {
+		w.SyncInterval = DefaultWindowSyncInterval
+	}
+	// Pre-bound so each re-arm schedules without a fresh closure.
+	w.syncFn = w.syncFire
 }
 
 func (w *WindowFlow) admit(req *sendReq) bool {
-	if w.credits > 0 {
-		w.credits--
+	// Admission preserves FIFO: while older requests wait for credit,
+	// newer ones queue behind them even if the window has space again.
+	// (The send loop never offers requests on a closed channel.)
+	if w.deferred.Size() == 0 && w.outstanding() < w.Window {
+		w.sent++
 		return true
 	}
-	w.deferred = append(w.deferred, req)
+	w.deferred.Push(req)
 	return false
 }
 
+func (w *WindowFlow) outstanding() int { return int(w.sent - w.credited) }
+
 func (w *WindowFlow) onDelivered(m *transport.Message) {
-	// Return a credit to the sender on this channel.
-	w.c.p.sendCtrl(w.c.peer, w.c.id, tagFlowAck, 0, false)
+	w.delivered++
+	w.idleSyncs = 0
+	w.advertise()
+	w.armSync()
+}
+
+// advertise sends the cumulative delivered count to the sender. Absolute,
+// not incremental: losing this frame costs nothing once any later one (or
+// a sync tick's re-advertisement) gets through.
+func (w *WindowFlow) advertise() {
+	w.c.p.sendCtrl(w.c.peer, w.c.id, tagFlowAck, w.delivered, true)
 }
 
 func (w *WindowFlow) onControl(m *transport.Message) {
-	if len(w.deferred) > 0 {
-		// Hand the freed credit straight to the oldest deferred request.
-		req := w.deferred[0]
-		w.deferred = w.deferred[1:]
-		req.flowOK = true
-		w.c.p.enqueueSend(req)
+	adv := ctrlPayload(m)
+	if !wire.SeqNewer(adv, w.credited) {
+		// Duplicate or reordered advertisement: a newer one already
+		// superseded it. Credits never move backwards.
+		w.stale++
 		return
 	}
-	w.credits++
+	w.credited = adv
+	w.release()
 }
 
-func (w *WindowFlow) shutdown() {}
-
-// Outstanding returns how many credits are currently consumed; tests use
-// it to verify the window invariant.
-func (w *WindowFlow) Outstanding() int {
-	return w.Window - w.credits
+// release drains deferred requests into the space the advertisement
+// opened, oldest first.
+func (w *WindowFlow) release() {
+	for w.deferred.Size() > 0 && w.outstanding() < w.Window {
+		req := w.deferred.Pop()
+		w.sent++
+		req.flowOK = true
+		w.c.p.enqueueSend(req)
+	}
 }
+
+func (w *WindowFlow) armSync() {
+	if w.syncOn || w.closed {
+		return
+	}
+	w.syncOn = true
+	w.c.p.cfg.After(w.SyncInterval, w.syncFn)
+}
+
+// syncFire is the window-sync timer: re-advertise the cumulative count so
+// an idle channel heals a lost trailing credit. armSync starts it lazily
+// on first delivery (a send-only channel end never ticks), it re-arms
+// while deliveries keep coming, and it stops after maxIdleSyncs ticks of
+// silence or at shutdown.
+func (w *WindowFlow) syncFire() {
+	w.syncOn = false
+	if w.closed || w.idleSyncs >= maxIdleSyncs {
+		return
+	}
+	w.idleSyncs++
+	w.syncs++
+	w.advertise()
+	w.armSync()
+}
+
+func (w *WindowFlow) shutdown() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	var reqs []*sendReq
+	for w.deferred.Size() > 0 {
+		reqs = append(reqs, w.deferred.Pop())
+	}
+	w.c.p.failGated(w.c, reqs, "window flow")
+}
+
+// Outstanding returns how many messages are sent but not yet credited;
+// tests use it to verify the window invariant. It can exceed zero
+// transiently under credit loss, but never exceeds Window, and converges
+// back as cumulative advertisements land.
+func (w *WindowFlow) Outstanding() int { return w.outstanding() }
+
+// Syncs returns how many periodic window-sync re-advertisements this end
+// has sent; for tests and experiment reporting.
+func (w *WindowFlow) Syncs() int64 { return w.syncs }
+
+// StaleCredits returns how many stale or duplicate credit advertisements
+// were ignored; for tests and experiment reporting.
+func (w *WindowFlow) StaleCredits() int64 { return w.stale }
 
 // RateFlow is token-bucket pacing: data leaves at no more than Rate bytes
 // per second with bursts up to Bucket bytes. This is the QOS discipline a
@@ -129,8 +263,16 @@ type RateFlow struct {
 	Bucket float64
 
 	c      *Channel
+	closed bool
 	tokens float64
 	last   time.Duration // virtual/real time of last refill
+
+	// deferred holds requests awaiting tokens in send order; a single
+	// wakeup timer sized for the head request drains it FIFO, so a small
+	// message paced behind a large one can never overtake it.
+	deferred list.FIFO[*sendReq]
+	timerOn  bool
+	fireFn   func()
 }
 
 // NewRateFlow returns a token-bucket discipline.
@@ -153,6 +295,7 @@ func (r *RateFlow) init(c *Channel) {
 	r.c = c
 	r.tokens = r.Bucket
 	r.last = time.Duration(c.p.cfg.RT.Now())
+	r.fireFn = r.timerFire
 }
 
 func (r *RateFlow) refill() {
@@ -164,30 +307,84 @@ func (r *RateFlow) refill() {
 	r.last = now
 }
 
-func (r *RateFlow) admit(req *sendReq) bool {
+// needFor is the token cost of a request; oversized messages drain a full
+// bucket.
+func (r *RateFlow) needFor(req *sendReq) float64 {
 	need := float64(len(req.m.Data))
 	if need > r.Bucket {
-		need = r.Bucket // oversized messages drain a full bucket
+		need = r.Bucket
+	}
+	return need
+}
+
+func (r *RateFlow) admit(req *sendReq) bool {
+	if r.deferred.Size() > 0 {
+		// Older requests are still waiting for tokens: queue behind them
+		// regardless of this one's size, preserving FIFO on the channel.
+		r.deferred.Push(req)
+		return false
 	}
 	r.refill()
-	if r.tokens >= need {
+	if need := r.needFor(req); r.tokens >= need {
 		r.tokens -= need
 		return true
 	}
-	// Re-enqueue once enough tokens will have accumulated.
-	deficit := need - r.tokens
+	r.deferred.Push(req)
+	r.armTimer()
+	return false
+}
+
+// armTimer schedules one wakeup for when the head request's deficit will
+// have accumulated. One timer serves the whole queue; per-request timers
+// would race each other and reorder the channel.
+func (r *RateFlow) armTimer() {
+	if r.timerOn || r.closed || r.deferred.Size() == 0 {
+		return
+	}
+	deficit := r.needFor(r.deferred.Peek()) - r.tokens
 	wait := time.Duration(deficit / r.Rate * float64(time.Second))
 	if wait < time.Microsecond {
 		wait = time.Microsecond
 	}
-	p := r.c.p
-	p.cfg.After(wait, func() { p.enqueueSend(req) })
-	return false
+	r.timerOn = true
+	r.c.p.cfg.After(wait, r.fireFn)
+}
+
+func (r *RateFlow) timerFire() {
+	r.timerOn = false
+	if r.closed {
+		// Channel closed while the timer was in flight: shutdown already
+		// failed the deferred requests; nothing to pace.
+		return
+	}
+	r.refill()
+	for r.deferred.Size() > 0 {
+		need := r.needFor(r.deferred.Peek())
+		if r.tokens < need {
+			break
+		}
+		r.tokens -= need
+		req := r.deferred.Pop()
+		req.flowOK = true
+		r.c.p.enqueueSend(req)
+	}
+	r.armTimer()
 }
 
 func (r *RateFlow) onDelivered(*transport.Message) {}
 func (r *RateFlow) onControl(*transport.Message)   {}
-func (r *RateFlow) shutdown()                      {}
+
+func (r *RateFlow) shutdown() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	var reqs []*sendReq
+	for r.deferred.Size() > 0 {
+		reqs = append(reqs, r.deferred.Pop())
+	}
+	r.c.p.failGated(r.c, reqs, "rate pacing")
+}
 
 // Tokens returns the current bucket level (after refill); for tests.
 func (r *RateFlow) Tokens() float64 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // SelectiveRepeat is the second real error-control discipline: per-message
@@ -125,9 +126,10 @@ func (s *SelectiveRepeat) timerFire(seq uint32) {
 }
 
 // slide advances base past acked/abandoned sequences and releases deferred
-// requests into the freed window space.
+// requests into the freed window space. base catches nextSeq one step at a
+// time, so the loop condition is wrap-safe.
 func (s *SelectiveRepeat) slide() {
-	for s.base < s.nextSeq {
+	for s.base != s.nextSeq {
 		pending, ok := s.inflight[s.base]
 		if ok && !pending.acked {
 			break
@@ -173,7 +175,7 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 			s.p.rxIn.prependLevel(s.ch.priority, flushed)
 		}
 		return true
-	case m.ESeq > s.expected:
+	case wire.SeqNewer(m.ESeq, s.expected):
 		if _, dup := s.buffered[m.ESeq]; !dup {
 			s.buffered[m.ESeq] = m
 		}
@@ -202,4 +204,11 @@ func (s *SelectiveRepeat) pending() int {
 	return total
 }
 
-func (s *SelectiveRepeat) shutdown() {}
+// shutdown fails deferred requests so a Send gated on window space cannot
+// hang across Channel.Close; the in-flight window keeps retransmitting
+// until acked or abandoned, like GoBackN.
+func (s *SelectiveRepeat) shutdown() {
+	reqs := s.deferred
+	s.deferred = nil
+	s.p.failGated(s.ch, reqs, "selective repeat")
+}

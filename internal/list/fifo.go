@@ -31,6 +31,11 @@ func (f *FIFO[T]) Pop() T {
 	return v
 }
 
+// Peek returns the head element without removing it. Callers check Size
+// first; pacing disciplines use it to size the wakeup timer for the oldest
+// deferred request without dequeuing it.
+func (f *FIFO[T]) Peek() T { return f.q[f.head] }
+
 // Prepend inserts vs ahead of everything queued (loss-recovery flushes
 // that must be processed before entries queued behind them).
 func (f *FIFO[T]) Prepend(vs []T) {

@@ -1,0 +1,46 @@
+package list
+
+import "testing"
+
+func TestFIFOOrderAndPeek(t *testing.T) {
+	var f FIFO[int]
+	if f.Size() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		f.Push(i)
+	}
+	if f.Peek() != 1 {
+		t.Fatalf("Peek = %d, want 1", f.Peek())
+	}
+	if f.Pop() != 1 || f.Peek() != 2 {
+		t.Fatal("Peek did not track the head after Pop")
+	}
+	// Peek must not consume: repeated peeks see the same head.
+	if f.Peek() != 2 || f.Peek() != 2 || f.Size() != 4 {
+		t.Fatal("Peek consumed an element")
+	}
+	for want := 2; want <= 5; want++ {
+		if got := f.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+	if f.Size() != 0 {
+		t.Fatalf("Size = %d after draining", f.Size())
+	}
+}
+
+func TestFIFOPrependThenPeek(t *testing.T) {
+	var f FIFO[string]
+	f.Push("c")
+	f.Push("d")
+	f.Prepend([]string{"a", "b"})
+	if f.Peek() != "a" {
+		t.Fatalf("Peek = %q after Prepend, want \"a\"", f.Peek())
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if got := f.Pop(); got != want {
+			t.Fatalf("Pop = %q, want %q", got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package nic
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/atm"
@@ -42,6 +43,14 @@ type Config struct {
 	// the case the paper's error-control thread exists for, and tests run
 	// go-back-N on top to verify recovery.
 	RxDropEvery int
+	// RxDropRate, when positive, drops each received AAL5 frame
+	// independently with this probability using the seeded RxDropSeed
+	// generator: random loss across *all* VCs, data and control frames
+	// alike, without the phase-locking a strictly periodic pattern can
+	// exhibit against fixed-size retransmission rounds. Chaos tests use it
+	// to prove the NCS flow- and error-control tiers recover end to end.
+	RxDropRate float64
+	RxDropSeed int64
 }
 
 // Validate panics on nonsensical configurations.
@@ -76,6 +85,10 @@ type SimATM struct {
 	reasm map[atm.VC]*atm.Reassembler
 	asm   map[atm.VC]*wire.Assembler
 
+	// dropRNG drives RxDropRate; nil when random rx loss is off. The sim
+	// runs single-threaded, so seeded draws replay deterministically.
+	dropRNG *rand.Rand
+
 	// vcTx is per-VC transmit state: cell accounting plus the optional
 	// GCRA policer enforcing the VC's traffic contract at the UNI. NCS
 	// channels map onto VCs (channel ID = VPI), so attaching a policer to
@@ -108,6 +121,9 @@ func NewSimATM(node *sim.Node, net *netsim.Network, host int, cfg Config) *SimAT
 		reasm:   make(map[atm.VC]*atm.Reassembler),
 		asm:     make(map[atm.VC]*wire.Assembler),
 		vcTx:    make(map[atm.VC]*vcTxState),
+	}
+	if cfg.RxDropRate > 0 {
+		a.dropRNG = rand.New(rand.NewSource(cfg.RxDropSeed))
 	}
 	net.AttachHost(host, netsim.PortFunc(a.deliverCell))
 	return a
@@ -296,6 +312,11 @@ func (a *SimATM) deliverCell(u netsim.Unit) {
 	a.rxFrames++
 	if a.cfg.RxDropEvery > 0 && a.rxFrames%int64(a.cfg.RxDropEvery) == 0 {
 		// Fault injection: the rx ring overran; this frame is gone.
+		a.rxDropped++
+		return
+	}
+	if a.dropRNG != nil && a.dropRNG.Float64() < a.cfg.RxDropRate {
+		// Random fault injection: any frame — data or control — may die.
 		a.rxDropped++
 		return
 	}

@@ -15,6 +15,7 @@ package udpatm
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -110,6 +111,15 @@ type Endpoint struct {
 	reasm map[atm.VC]*atm.Reassembler
 	asm   map[atm.VC]*wire.Assembler
 
+	// Receive-side fault injection (guarded by mu): each arriving datagram
+	// — one AAL5 frame, data or control alike — is dropped independently
+	// with rxDropRate probability from the seeded generator, emulating a
+	// lossy fabric beyond what GCRA policing at the UNI produces. Chaos
+	// tests use it to prove NCS flow/error control recover end to end.
+	rxDropRate float64
+	rxDropRNG  *rand.Rand
+	rxDropped  int64
+
 	cellsSent int64 // guarded by txMu (writer updates, accessors read)
 	cellsRecv int64
 	badCells  int64
@@ -185,6 +195,37 @@ func (e *Endpoint) SetHandler(h transport.Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handler = h
+}
+
+// SetRecvDropRate makes the endpoint drop each arriving AAL5 frame (one
+// UDP datagram) independently with the given probability, using a
+// deterministic seed; rate 0 disables loss. Loss is frame-level and
+// class-blind — data, credits, and acks all die alike, which is exactly
+// the regime the cumulative-credit flow protocol and the error-control
+// tier exist to survive.
+func (e *Endpoint) SetRecvDropRate(rate float64, seed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rxDropRate = rate
+	e.rxDropRNG = rand.New(rand.NewSource(seed))
+}
+
+// RecvDropped returns how many arriving frames fault injection discarded.
+func (e *Endpoint) RecvDropped() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rxDropped
+}
+
+// dropArrival decides fault injection for one arriving frame.
+func (e *Endpoint) dropArrival() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rxDropRate <= 0 || e.rxDropRNG.Float64() >= e.rxDropRate {
+		return false
+	}
+	e.rxDropped++
+	return true
 }
 
 // CellsSent returns transmitted cell count.
@@ -430,6 +471,9 @@ func (e *Endpoint) readLoop() {
 		}
 		if n%atm.CellSize != 0 {
 			e.badCells++
+			continue
+		}
+		if e.dropArrival() {
 			continue
 		}
 		for off := 0; off < n; off += atm.CellSize {

@@ -2,6 +2,7 @@ package udpatm
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -315,6 +316,94 @@ func TestPolicedChannelOverUDP(t *testing.T) {
 	if gotPoliced {
 		t.Fatal("over-contract message survived cell-level policing intact")
 	}
+}
+
+// TestWindowRecoveryOverPolicedUDP is the real-mode chaos variant of the
+// credit protocol test: a windowed go-back-N channel runs over genuine
+// AAL5 cells with its VC GCRA-policed at both emulated UNIs (bursts beyond
+// the contract lose cells, so whole frames fail CRC) *and* seeded random
+// frame loss at both receivers — destroying data, credit advertisements,
+// and acks alike. Nothing is protected; the cumulative-credit protocol
+// plus the window-sync timer must keep the window open until every
+// message lands.
+func TestWindowRecoveryOverPolicedUDP(t *testing.T) {
+	const (
+		chID = 3
+		n    = 60
+	)
+	net := NewNetwork()
+	var procs [2]*core.Proc
+	var eps [2]*Endpoint
+	for i := 0; i < 2; i++ {
+		rt := newRT(fmt.Sprintf("n%d", i))
+		ep, err := net.Attach(transport.ProcID(i), rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: ep})
+		procs[i].OnException(func(error) {}) // trailing-ack give-up after peer exit
+	}
+	// A contract tight enough that go-back-N's full-window retransmission
+	// bursts (8 × ~7 cells back to back) overrun it, plus 25% random frame
+	// loss on both receive sides.
+	eps[0].ConfigureChannel(1, chID, 0, atm.NewGCRA(5e4, 30))
+	eps[1].ConfigureChannel(0, chID, 0, atm.NewGCRA(5e4, 30))
+	eps[0].SetRecvDropRate(0.25, 7)
+	eps[1].SetRecvDropRate(0.25, 8)
+
+	mkWin := func() *core.WindowFlow {
+		w := core.NewWindowFlow(4)
+		w.SyncInterval = 5 * time.Millisecond
+		return w
+	}
+	ch0 := procs[0].Open(1, core.ChannelConfig{ID: chID, Flow: mkWin(), Error: core.NewGoBackN(8, 15*time.Millisecond)})
+	ch1 := procs[1].Open(0, core.ChannelConfig{ID: chID, Flow: mkWin(), Error: core.NewGoBackN(8, 15*time.Millisecond)})
+	flow0 := ch0.Flow().(*core.WindowFlow)
+
+	procs[0].TCreate("send", mts.PrioDefault, func(th *core.Thread) {
+		for k := 0; k < n; k++ {
+			// Fresh buffer per message: go-back-N's retransmission copies
+			// alias Data, so the application must not recycle it.
+			payload := make([]byte, 256)
+			payload[0] = byte(k)
+			ch0.Send(th, 0, payload)
+			if out := flow0.Outstanding(); out > 4 {
+				t.Errorf("window violated: %d outstanding", out)
+			}
+		}
+	})
+	var got []int
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *core.Thread) {
+		for k := 0; k < n; k++ {
+			data, _ := ch1.Recv(th, core.Any)
+			got = append(got, int(data[0]))
+		}
+	})
+	done := make(chan struct{}, 2)
+	for _, p := range procs {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	<-done
+	<-done
+
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered at %d: %v", i, got)
+		}
+	}
+	if eps[0].RecvDropped()+eps[1].RecvDropped() == 0 {
+		t.Fatal("fault injection never dropped a frame — test proves nothing")
+	}
+	_, policed0 := eps[0].VCStats(VCForChan(0, 1, chID))
+	t.Logf("drops: rx %d+%d frames, %d cells policed at the sender UNI; %d retransmissions",
+		eps[0].RecvDropped(), eps[1].RecvDropped(), policed0,
+		ch0.Error().(*core.GoBackN).Retransmissions())
 }
 
 func TestCloseIdempotent(t *testing.T) {

@@ -136,6 +136,15 @@ func Uint32(b []byte) uint32 {
 	return binary.BigEndian.Uint32(b)
 }
 
+// SeqNewer reports whether a is strictly newer than b in 32-bit serial-
+// number arithmetic (wrap-safe, RFC 1982 style). Control payloads written
+// with AppendUint32 carry *cumulative* counters — credit advertisements,
+// cumulative acks — precisely so that any later message supersedes a lost
+// one on a lossy carrier; consumers compare them with SeqNewer so the
+// protocol keeps working when the counter wraps. Equal values are not
+// newer: a duplicate advertisement is stale by definition.
+func SeqNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
 func checkWire(b []byte) error {
 	if len(b) < HeaderSize {
 		return ErrShortMessage

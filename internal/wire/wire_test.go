@@ -49,6 +49,39 @@ func TestAppendUint32Roundtrip(t *testing.T) {
 	}
 }
 
+func TestSeqNewer(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{1, 0, true},
+		{0, 1, false},
+		{5, 5, false}, // equal is not newer: duplicates are stale
+		{0, 0, false},
+		{0, ^uint32(0), true},  // wrap: 0 succeeds max
+		{^uint32(0), 0, false}, // ...and not vice versa
+		{^uint32(0), ^uint32(0) - 3, true},
+		{1 << 31, 0, false}, // exactly half the space apart: ambiguous, not newer
+		{1<<31 - 1, 0, true},
+	}
+	for _, c := range cases {
+		if got := SeqNewer(c.a, c.b); got != c.want {
+			t.Errorf("SeqNewer(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Antisymmetry over arbitrary distinct pairs: a cumulative counter
+	// cannot be both newer and older, so credits can never move backwards.
+	f := func(a, b uint32) bool {
+		if a == b {
+			return !SeqNewer(a, b) && !SeqNewer(b, a)
+		}
+		return !(SeqNewer(a, b) && SeqNewer(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMarshalAppendPreservesPrefix(t *testing.T) {
 	m := &Message{From: 1, To: 2, Data: []byte("abc")}
 	prefix := []byte{0xDE, 0xAD}
