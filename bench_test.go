@@ -205,14 +205,19 @@ func BenchmarkChannelThroughput(b *testing.B) {
 			bulk0.Send(t, 1, bulkBuf)
 		}
 	})
+	// Receivers use RecvInto (the paper's receive-into-buffer shape): the
+	// payload copies into a reusable buffer and the carrier's pooled frame
+	// recycles, so the measured steady state is allocation-free end to end.
 	p1.TCreate("vrecv", mts.PrioDefault, func(t *core.Thread) {
+		buf := make([]byte, videoSize)
 		for i := 0; i < b.N; i++ {
-			video1.Recv(t, core.Any)
+			video1.RecvInto(t, buf, core.Any)
 		}
 	})
 	p1.TCreate("brecv", mts.PrioDefault, func(t *core.Thread) {
+		buf := make([]byte, bulkSize)
 		for i := 0; i < b.N; i++ {
-			bulk1.Recv(t, core.Any)
+			bulk1.RecvInto(t, buf, core.Any)
 		}
 	})
 
@@ -235,30 +240,56 @@ func BenchmarkChannelThroughput(b *testing.B) {
 	b.ReportMetric(vMBps, "video_MB/s")
 	b.ReportMetric(kMBps, "bulk_MB/s")
 
-	type chanRow struct {
-		ID    int     `json:"id"`
-		Class string  `json:"class"`
-		Prio  int     `json:"priority"`
-		Flow  string  `json:"flow"`
-		Msgs  int64   `json:"msgs"`
-		Bytes int64   `json:"bytes"`
-		MBps  float64 `json:"mb_per_s"`
+	// Control-plane accounting comes from the *receiving* end of each
+	// channel — that is where credit advertisements originate. The
+	// standalone-per-message share of the windowed class is the piggyback
+	// protocol's headline number (1.0 was the pre-piggyback baseline: one
+	// credit frame per delivery); CI gates on it so the optimization
+	// cannot silently regress.
+	vr, kr := video1.Stats(), bulk1.Stats()
+	standalonePerMsg := func(s core.ChannelStats) float64 {
+		if s.Received == 0 {
+			return 0
+		}
+		return float64(s.CtrlStandalone) / float64(s.Received)
 	}
+	b.ReportMetric(standalonePerMsg(kr), "bulk_ctrl/msg")
+
+	type chanRow struct {
+		ID            int     `json:"id"`
+		Class         string  `json:"class"`
+		Prio          int     `json:"priority"`
+		Flow          string  `json:"flow"`
+		Msgs          int64   `json:"msgs"`
+		Bytes         int64   `json:"bytes"`
+		MBps          float64 `json:"mb_per_s"`
+		CtrlStand     int64   `json:"ctrl_standalone"`
+		CtrlPiggy     int64   `json:"ctrl_piggybacked"`
+		CtrlStandMsgs float64 `json:"ctrl_standalone_per_msg"`
+	}
+	batchCalls, batchedMsgs := mem.BatchStats()
 	artifact := struct {
-		Bench     string    `json:"bench"`
-		GoOS      string    `json:"goos"`
-		GoArch    string    `json:"goarch"`
-		N         int       `json:"n"`
-		ElapsedNs int64     `json:"elapsed_ns"`
-		Channels  []chanRow `json:"channels"`
+		Bench       string    `json:"bench"`
+		GoOS        string    `json:"goos"`
+		GoArch      string    `json:"goarch"`
+		N           int       `json:"n"`
+		ElapsedNs   int64     `json:"elapsed_ns"`
+		BatchCalls  int64     `json:"batch_calls"`
+		BatchedMsgs int64     `json:"batched_msgs"`
+		Channels    []chanRow `json:"channels"`
 	}{
 		Bench: "BenchmarkChannelThroughput", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
 		N: b.N, ElapsedNs: elapsed.Nanoseconds(),
+		BatchCalls: batchCalls, BatchedMsgs: batchedMsgs,
 		Channels: []chanRow{
 			{ID: 1, Class: "video", Prio: 7, Flow: video0.Stats().Flow,
-				Msgs: video0.Stats().Sent, Bytes: video0.Stats().BytesSent, MBps: vMBps},
+				Msgs: video0.Stats().Sent, Bytes: video0.Stats().BytesSent, MBps: vMBps,
+				CtrlStand: vr.CtrlStandalone, CtrlPiggy: vr.CtrlPiggybacked,
+				CtrlStandMsgs: standalonePerMsg(vr)},
 			{ID: 2, Class: "bulk", Prio: 0, Flow: bulk0.Stats().Flow,
-				Msgs: bulk0.Stats().Sent, Bytes: bulk0.Stats().BytesSent, MBps: kMBps},
+				Msgs: bulk0.Stats().Sent, Bytes: bulk0.Stats().BytesSent, MBps: kMBps,
+				CtrlStand: kr.CtrlStandalone, CtrlPiggy: kr.CtrlPiggybacked,
+				CtrlStandMsgs: standalonePerMsg(kr)},
 		},
 	}
 	blob, err := json.MarshalIndent(artifact, "", "  ")
@@ -266,6 +297,167 @@ func BenchmarkChannelThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_channels.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScaleMesh is the scale axis of the channel layer: N processes
+// in a ring, K channels per adjacent pair, every channel carrying b.N
+// messages in *both* directions (so piggybacked control gets reverse data
+// to ride). It reports aggregate and per-class throughput plus the
+// standalone-vs-piggybacked control split, and writes BENCH_scale.json so
+// CI tracks the multi-proc trajectory the way BENCH_channels.json tracks
+// the single pair.
+func BenchmarkScaleMesh(b *testing.B) {
+	const nProcs = 4
+	classes := []struct {
+		name string
+		id   core.ChannelID
+		prio int
+		size int
+		win  int
+	}{
+		{name: "prio", id: 1, prio: 6, size: 8 << 10, win: 4},
+		{name: "bulk", id: 2, prio: 0, size: 32 << 10, win: 8},
+	}
+
+	mem := transport.NewMem()
+	procs := make([]*core.Proc, nProcs)
+	for i := range procs {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("mesh%d", i), IdleTimeout: time.Minute})
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: mem.Attach(core.ProcID(i), rt)})
+	}
+
+	// chans[{i,j}][c] is proc i's end of class c toward neighbor j (ring:
+	// each proc talks to its right and left neighbor on K channels).
+	chans := make(map[[2]int][]*core.Channel)
+	for i := 0; i < nProcs; i++ {
+		j := (i + 1) % nProcs
+		for _, cl := range classes {
+			chans[[2]int{i, j}] = append(chans[[2]int{i, j}],
+				procs[i].Open(core.ProcID(j), core.ChannelConfig{ID: cl.id, Priority: cl.prio, Flow: core.NewWindowFlow(cl.win)}))
+			chans[[2]int{j, i}] = append(chans[[2]int{j, i}],
+				procs[j].Open(core.ProcID(i), core.ChannelConfig{ID: cl.id, Priority: cl.prio, Flow: core.NewWindowFlow(cl.win)}))
+		}
+	}
+
+	// Receiver threads are created first in a fixed order, so the thread
+	// index a sender must address is computable: on proc i, the receiver
+	// for (neighbor d, class c) is thread d*K + c.
+	neighbors := func(i int) [2]int { return [2]int{(i + 1) % nProcs, (i - 1 + nProcs) % nProcs} }
+	rxIdx := func(i, peer, c int) int {
+		for d, j := range neighbors(i) {
+			if j == peer {
+				return d*len(classes) + c
+			}
+		}
+		panic("bench: procs are not ring neighbors")
+	}
+	for i := 0; i < nProcs; i++ {
+		for _, j := range neighbors(i) {
+			for c, cl := range classes {
+				cc, size := chans[[2]int{i, j}][c], cl.size
+				procs[i].TCreate(fmt.Sprintf("rx%d.%d", j, c), mts.PrioDefault, func(t *core.Thread) {
+					buf := make([]byte, size)
+					for k := 0; k < b.N; k++ {
+						cc.RecvInto(t, buf, core.Any)
+					}
+				})
+			}
+		}
+	}
+	for i := 0; i < nProcs; i++ {
+		for _, j := range neighbors(i) {
+			for c, cl := range classes {
+				cc, size := chans[[2]int{i, j}][c], cl.size
+				to := rxIdx(j, i, c)
+				procs[i].TCreate(fmt.Sprintf("tx%d.%d", j, c), mts.PrioDefault, func(t *core.Thread) {
+					buf := make([]byte, size)
+					for k := 0; k < b.N; k++ {
+						cc.Send(t, to, buf)
+					}
+				})
+			}
+		}
+	}
+
+	perIter := 0
+	for _, cl := range classes {
+		perIter += 2 * nProcs * cl.size // both directions on every pair
+	}
+	b.SetBytes(int64(perIter))
+	b.ResetTimer()
+	start := time.Now()
+	done := make(chan struct{}, nProcs)
+	for _, p := range procs {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	for range procs {
+		<-done
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	type classRow struct {
+		Class     string  `json:"class"`
+		Prio      int     `json:"priority"`
+		Msgs      int64   `json:"msgs"`
+		Bytes     int64   `json:"bytes"`
+		MBps      float64 `json:"mb_per_s"`
+		CtrlStand int64   `json:"ctrl_standalone"`
+		CtrlPiggy int64   `json:"ctrl_piggybacked"`
+	}
+	rows := make([]classRow, len(classes))
+	for c, cl := range classes {
+		rows[c] = classRow{Class: cl.name, Prio: cl.prio}
+		for key, list := range chans {
+			_ = key
+			s := list[c].Stats()
+			rows[c].Msgs += s.Sent
+			rows[c].Bytes += s.BytesSent
+			rows[c].CtrlStand += s.CtrlStandalone
+			rows[c].CtrlPiggy += s.CtrlPiggybacked
+		}
+		rows[c].MBps = float64(rows[c].Bytes) / 1e6 / elapsed.Seconds()
+	}
+	var aggMBps float64
+	var standTotal, piggyTotal int64
+	for _, r := range rows {
+		aggMBps += r.MBps
+		standTotal += r.CtrlStand
+		piggyTotal += r.CtrlPiggy
+	}
+	b.ReportMetric(aggMBps, "agg_MB/s")
+	if total := standTotal + piggyTotal; total > 0 {
+		b.ReportMetric(float64(piggyTotal)/float64(total), "piggy_share")
+	}
+
+	batchCalls, batchedMsgs := mem.BatchStats()
+	artifact := struct {
+		Bench       string     `json:"bench"`
+		GoOS        string     `json:"goos"`
+		GoArch      string     `json:"goarch"`
+		Procs       int        `json:"procs"`
+		ChansPerDir int        `json:"channels_per_pair"`
+		N           int        `json:"n"`
+		ElapsedNs   int64      `json:"elapsed_ns"`
+		AggMBps     float64    `json:"agg_mb_per_s"`
+		BatchCalls  int64      `json:"batch_calls"`
+		BatchedMsgs int64      `json:"batched_msgs"`
+		Classes     []classRow `json:"classes"`
+	}{
+		Bench: "BenchmarkScaleMesh", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Procs: nProcs, ChansPerDir: len(classes), N: b.N,
+		ElapsedNs: elapsed.Nanoseconds(), AggMBps: aggMBps,
+		BatchCalls: batchCalls, BatchedMsgs: batchedMsgs,
+		Classes: rows,
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_scale.json", append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -12,8 +12,20 @@
 // control speaks an absolute-credit protocol (cumulative advertisements
 // plus a periodic window sync), so it survives carriers that drop control
 // frames as readily as data — no traffic class needs protecting on a
-// lossy fabric. bench_test.go in
-// this directory regenerates every table and figure of the paper's
-// evaluation via `go test -bench`, plus a per-channel throughput
-// benchmark that emits BENCH_channels.json.
+// lossy fabric.
+//
+// The control plane piggybacks on the data plane (wire format v3): a data
+// frame carries its channel's pending credit advertisement and ack as
+// optional header words, with a short flush timer (Config.CtrlFlushDelay)
+// falling back to standalone — and coalesced — control frames when no
+// reverse data flows. The send system thread drains bursts and hands
+// same-destination runs to carriers through transport.BatchSender (one
+// scheduler post on Mem, one writev on real TCP, MTU-bounded cell-train
+// datagrams on UDP/ATM), and Thread.RecvInto/Channel.RecvInto — the
+// paper's receive-into-buffer call — recycles pooled receive frames so
+// steady-state traffic allocates nothing. bench_test.go in this directory
+// regenerates every table and figure of the paper's evaluation via `go
+// test -bench`, plus a per-channel throughput benchmark that emits
+// BENCH_channels.json and an N-procs × K-channels mesh benchmark that
+// emits BENCH_scale.json.
 package repro

@@ -121,3 +121,106 @@ func TestWindowedFlowAllocs(t *testing.T) {
 		t.Fatalf("outstanding %d beyond window at teardown", out)
 	}
 }
+
+// TestPiggybackAllocs pins the piggybacked-control hot path: a windowed
+// ping-pong where every credit advertisement rides a reverse-direction
+// data frame. A piggybacked credit is four bytes written into the frame
+// the data was leaving on anyway, so it must cost zero extra heap
+// allocations — and with RecvInto recycling the pooled Mem frames, the
+// whole round trip (two data frames, two credits) stays under the
+// windowed-flow pin despite carrying twice the traffic.
+func TestPiggybackAllocs(t *testing.T) {
+	mem := transport.NewMem()
+	rt := mts.New(mts.Config{Name: "piggy", IdleTimeout: 5 * time.Second})
+	mk := func(id ProcID) *Proc {
+		return New(Config{ID: id, RT: rt, Endpoint: mem.Attach(id, rt)})
+	}
+	pa, pb := mk(0), mk(1)
+	// Window 4 → the credit threshold is 3, so between forced
+	// advertisements every credit waits for the reverse data frame the
+	// ping-pong is about to produce: the steady state piggybacks.
+	ca := pa.Open(1, ChannelConfig{ID: 1, Flow: NewWindowFlow(4)})
+	cb := pb.Open(0, ChannelConfig{ID: 1, Flow: NewWindowFlow(4)})
+
+	payload := make([]byte, 4096)
+	cmds := 0
+	stop := false
+	rounds := 0
+	roundDone := make(chan struct{})
+	runDone := make(chan struct{})
+
+	var pinger *Thread
+	pinger = pa.TCreate("ping", mts.PrioDefault, func(th *Thread) {
+		buf := make([]byte, len(payload))
+		for {
+			for cmds == 0 && !stop {
+				th.mt.Park("await cmd")
+			}
+			if stop {
+				ca.Send(th, 0, nil) // zero-length sentinel
+				return
+			}
+			cmds--
+			ca.Send(th, 0, payload)
+			ca.RecvInto(th, buf, Any)
+		}
+	})
+	pb.TCreate("pong", mts.PrioDefault, func(th *Thread) {
+		buf := make([]byte, len(payload))
+		for {
+			n, _ := cb.RecvInto(th, buf, Any)
+			if n == 0 {
+				return // sentinel
+			}
+			cb.Send(th, 0, buf[:n])
+			rounds++
+			roundDone <- struct{}{}
+		}
+	})
+	go func() { rt.Run(); close(runDone) }()
+
+	kick := func() {
+		cmds++
+		if pinger.mt.State() == mts.StateBlocked && pinger.mt.BlockReason() == "await cmd" {
+			rt.Unblock(pinger.mt, false)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		rt.Post(kick)
+		<-roundDone
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		rt.Post(kick)
+		<-roundDone
+	})
+	rt.Post(func() {
+		stop = true
+		if pinger.mt.State() == mts.StateBlocked && pinger.mt.BlockReason() == "await cmd" {
+			rt.Unblock(pinger.mt, false)
+		}
+	})
+	<-runDone
+
+	sa, sb := ca.Stats(), cb.Stats()
+	t.Logf("piggyback 4KB ping-pong: %.1f allocs/op over %d rounds; a: %d piggy / %d standalone, b: %d piggy / %d standalone",
+		avg, rounds, sa.CtrlPiggybacked, sa.CtrlStandalone, sb.CtrlPiggybacked, sb.CtrlStandalone)
+	// The round trip carries two data frames and both directions' credits.
+	// With frames pooled end to end (RecvInto) and credits riding the data,
+	// the whole round must stay under the one-way windowed-flow pin — a
+	// piggybacked credit adding allocations would show up here first.
+	if avg > 9 {
+		t.Fatalf("piggybacked round allocates %.1f/op, want <= 9", avg)
+	}
+	// The steady state must actually have piggybacked: both ends attach
+	// nearly every credit to reverse data, falling back standalone only at
+	// threshold crossings and flush-timer tails.
+	for name, s := range map[string]ChannelStats{"a": sa, "b": sb} {
+		if s.CtrlPiggybacked == 0 {
+			t.Fatalf("end %s never piggybacked a credit (standalone %d)", name, s.CtrlStandalone)
+		}
+		if s.CtrlPiggybacked < s.CtrlStandalone {
+			t.Fatalf("end %s: piggybacked %d < standalone %d — the ride-along path is not engaging",
+				name, s.CtrlPiggybacked, s.CtrlStandalone)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"time"
 
 	"repro/internal/list"
 	"repro/internal/trace"
@@ -82,8 +84,25 @@ type Channel struct {
 	errc     ErrorControl
 	closed   bool
 
+	// Pending reverse-direction control: the receiver role's credit
+	// advertisement and error-control acks wait here for a data frame
+	// toward the peer to piggyback on (attachPiggy) or for the flush
+	// timer (flushFire), whichever comes first. pendCredit is cumulative
+	// (a newer value supersedes); pendAcks holds at most one word under
+	// go-back-N (cumulative) and a short burst under selective repeat.
+	pendCredit   uint32
+	pendCreditOn bool
+	pendAcks     []uint32
+	flushOn      bool
+	flushFn      func()
+
+	// lane names the channel's trace timeline (empty without a Tracer).
+	lane string
+
 	sent, received           int64
 	bytesSent, bytesReceived int64
+	ctrlPiggy                int64 // control words that rode data frames
+	ctrlStandalone           int64 // standalone control frames sent
 }
 
 // ChannelStats is a channel's traffic snapshot.
@@ -95,6 +114,12 @@ type ChannelStats struct {
 	Received int64
 	// BytesSent and BytesReceived total the payload bytes of the above.
 	BytesSent, BytesReceived int64
+	// CtrlPiggybacked counts control words (credit advertisements, acks)
+	// this end attached to reverse-direction data frames;
+	// CtrlStandalone counts standalone control frames it sent instead
+	// (threshold advertisements, flush-timer fallbacks, window syncs).
+	// Their ratio is the piggyback protocol's effectiveness.
+	CtrlPiggybacked, CtrlStandalone int64
 	// Flow and Error name the channel's disciplines.
 	Flow, Error string
 }
@@ -144,6 +169,10 @@ func (p *Proc) DefaultChannel(peer ProcID) *Channel {
 
 func (p *Proc) addChannel(key chanKey, prio int, fc FlowControl, ec ErrorControl) *Channel {
 	c := &Channel{p: p, peer: key.peer, id: key.id, priority: prio, flow: fc, errc: ec}
+	c.flushFn = c.flushFire
+	if p.cfg.Tracer != nil {
+		c.lane = fmt.Sprintf("%s/ch%d>%d", p.cfg.TraceName, key.id, key.peer)
+	}
 	p.channels[key] = c
 	fc.init(c)
 	ec.init(c)
@@ -191,6 +220,10 @@ func (c *Channel) Close() {
 	if c.closed {
 		return
 	}
+	// Flush pending piggyback control first: the peer's sender role may be
+	// stalled on exactly the credit or ack sitting here, and a closed
+	// channel produces no more data frames to carry it.
+	c.flushCtrl()
 	c.closed = true
 	c.flow.shutdown()
 	c.errc.shutdown()
@@ -222,7 +255,100 @@ func (c *Channel) Stats() ChannelStats {
 	return ChannelStats{
 		Sent: c.sent, Received: c.received,
 		BytesSent: c.bytesSent, BytesReceived: c.bytesReceived,
+		CtrlPiggybacked: c.ctrlPiggy, CtrlStandalone: c.ctrlStandalone,
 		Flow: c.flow.Name(), Error: c.errc.Name(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Piggybacked control
+
+// DefaultCtrlFlushDelay is the piggyback window when Config.CtrlFlushDelay
+// is zero: how long queued reverse-direction control waits for a data
+// frame before a standalone control frame flushes it. It is deliberately
+// far below every discipline timescale (retransmission timeouts, window
+// sync), so delaying control this long costs latency but never correctness.
+const DefaultCtrlFlushDelay = time.Millisecond
+
+// queueCredit files the flow tier's cumulative credit advertisement for
+// piggybacking on the next data frame toward the peer. The value is
+// cumulative, so a newer call simply supersedes a queued one. The flush
+// timer bounds how long it may wait when no reverse data flows.
+func (c *Channel) queueCredit(v uint32) {
+	c.pendCredit = v
+	c.pendCreditOn = true
+	c.armFlush()
+}
+
+// queueAck files an error-control acknowledgement. Cumulative acks
+// (go-back-N) supersede the queued word; selective acks (selective repeat)
+// append, and the flush path batches them into one frame.
+func (c *Channel) queueAck(v uint32, cumulative bool) {
+	if cumulative && len(c.pendAcks) > 0 {
+		c.pendAcks[len(c.pendAcks)-1] = v
+	} else {
+		c.pendAcks = append(c.pendAcks, v)
+	}
+	c.armFlush()
+}
+
+// armFlush schedules the standalone fallback for queued control. A
+// negative CtrlFlushDelay disables the piggyback window entirely: control
+// flushes standalone immediately, the pre-piggyback behavior.
+func (c *Channel) armFlush() {
+	if c.p.ctrlFlush < 0 {
+		c.flushCtrl()
+		return
+	}
+	if c.flushOn || c.closed {
+		return
+	}
+	c.flushOn = true
+	c.p.cfg.After(c.p.ctrlFlush, c.flushFn)
+}
+
+// flushFire is the flush timer: no reverse data frame picked the pending
+// control up within the piggyback window, so it goes standalone.
+func (c *Channel) flushFire() {
+	c.flushOn = false
+	if c.closed {
+		return
+	}
+	c.flushCtrl()
+}
+
+// flushCtrl sends whatever control is still pending as standalone frames:
+// one credit advertisement and one (possibly multi-word) ack frame. No-op
+// when a data frame already carried everything.
+func (c *Channel) flushCtrl() {
+	if c.pendCreditOn {
+		c.pendCreditOn = false
+		c.ctrlStandalone++
+		c.p.sendCtrl(c.peer, c.id, tagFlowAck, c.pendCredit, true)
+		c.flow.creditSent(c.pendCredit)
+	}
+	if len(c.pendAcks) > 0 {
+		c.ctrlStandalone++
+		c.p.sendCtrlVec(c.peer, c.id, tagGBNAck, c.pendAcks)
+		c.pendAcks = c.pendAcks[:0]
+	}
+}
+
+// attachPiggy moves pending control onto a departing data frame: the
+// credit word and the oldest queued ack ride for free. Runs in the send
+// system thread immediately before the frame is handed to the carrier.
+func (c *Channel) attachPiggy(m *transport.Message) {
+	if c.pendCreditOn {
+		m.Credit, m.HasCredit = c.pendCredit, true
+		c.pendCreditOn = false
+		c.ctrlPiggy++
+		c.flow.creditSent(c.pendCredit)
+	}
+	if n := len(c.pendAcks); n > 0 {
+		m.Ack, m.HasAck = c.pendAcks[0], true
+		copy(c.pendAcks, c.pendAcks[1:])
+		c.pendAcks = c.pendAcks[:n-1]
+		c.ctrlPiggy++
 	}
 }
 
@@ -263,6 +389,15 @@ func (c *Channel) Recv(t *Thread, fromThread int) ([]byte, Addr) {
 	return data, addr
 }
 
+// RecvInto is Recv delivering into the caller's buffer; see
+// Thread.RecvInto for the contract (and the allocation-free property).
+func (c *Channel) RecvInto(t *Thread, buf []byte, fromThread int) (int, Addr) {
+	if t.proc != c.p {
+		panic("core: thread receiving on another process's channel")
+	}
+	return t.recvIntoOn(buf, c.id, Any, fromThread, c.peer)
+}
+
 // TryRecv is the non-blocking variant of Recv.
 func (c *Channel) TryRecv(t *Thread, fromThread int) (data []byte, from Addr, ok bool) {
 	if t.proc != c.p {
@@ -295,30 +430,37 @@ func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
 // prioQueue fans one logical queue into per-priority head-indexed FIFOs:
 // push files an item under its level, pop drains the highest occupied
 // level first. This is how the send and receive system threads service
-// higher-priority channels ahead of bulk traffic.
+// higher-priority channels ahead of bulk traffic. A bitmask tracks which
+// levels are occupied, so the hot-path empty/pop pair is O(1) (bits.Len16
+// finds the highest set bit) instead of scanning all nine levels on every
+// system-thread iteration.
 type prioQueue[T any] struct {
-	lvl [numSendLevels]list.FIFO[T]
-	n   int
+	lvl  [numSendLevels]list.FIFO[T]
+	mask uint16 // bit i set ⇔ lvl[i] non-empty
 }
 
 func (q *prioQueue[T]) push(level int, v T) {
 	q.lvl[level].Push(v)
-	q.n++
+	q.mask |= 1 << level
 }
 
-func (q *prioQueue[T]) empty() bool { return q.n == 0 }
+func (q *prioQueue[T]) empty() bool { return q.mask == 0 }
 
 func (q *prioQueue[T]) pop() T {
-	for i := numSendLevels - 1; i >= 0; i-- {
-		if q.lvl[i].Size() > 0 {
-			q.n--
-			return q.lvl[i].Pop()
-		}
+	if q.mask == 0 {
+		panic("core: pop from empty priority queue")
 	}
-	panic("core: pop from empty priority queue")
+	i := bits.Len16(q.mask) - 1
+	v := q.lvl[i].Pop()
+	if q.lvl[i].Size() == 0 {
+		q.mask &^= 1 << i
+	}
+	return v
 }
 
 func (q *prioQueue[T]) prependLevel(level int, vs []T) {
 	q.lvl[level].Prepend(vs)
-	q.n += len(vs)
+	if len(vs) > 0 {
+		q.mask |= 1 << level
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mts"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -441,5 +442,46 @@ func TestPrioQueueOrder(t *testing.T) {
 		if got := q.pop(); got != w {
 			t.Fatalf("after prepend: got %d, want %d", got, w)
 		}
+	}
+}
+
+// TestChannelTraceLanes: with a Tracer configured, every channel gets its
+// own timeline lane named "<TraceName>/ch<id>><peer>", so a traced run
+// shows which traffic class occupied the send path when.
+func TestChannelTraceLanes(t *testing.T) {
+	mem := transport.NewMem()
+	rtA := mts.New(mts.Config{Name: "laneA", IdleTimeout: 10 * time.Second})
+	rtB := mts.New(mts.Config{Name: "laneB", IdleTimeout: 10 * time.Second})
+	rec := trace.NewRecorder(rtA.Clock())
+	pa := New(Config{ID: 0, RT: rtA, Endpoint: mem.Attach(0, rtA), Tracer: rec, TraceName: "p0"})
+	pb := New(Config{ID: 1, RT: rtB, Endpoint: mem.Attach(1, rtB)})
+
+	ca := pa.Open(1, ChannelConfig{ID: 5, Priority: 3})
+	cb := pb.Open(0, ChannelConfig{ID: 5, Priority: 3})
+	pa.TCreate("tx", mts.PrioDefault, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			ca.Send(th, 0, []byte("lane"))
+		}
+	})
+	var got int
+	pb.TCreate("rx", mts.PrioDefault, func(th *Thread) {
+		buf := make([]byte, 16)
+		for i := 0; i < 3; i++ {
+			cb.RecvInto(th, buf, Any)
+			got++
+		}
+	})
+	runReal([]*Proc{pa, pb})
+
+	if got != 3 {
+		t.Fatalf("delivered %d of 3", got)
+	}
+	if rec.Timeline("p0/ch5>1") == nil {
+		t.Fatalf("no trace lane for channel 5; rows: %v", rec.Names())
+	}
+	// The default channel gets a lane too once it carries traffic — but
+	// only channels that transmitted appear, so an unused ID is absent.
+	if rec.Timeline("p0/ch9>1") != nil {
+		t.Fatal("lane appeared for a channel that never existed")
 	}
 }

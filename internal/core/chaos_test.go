@@ -349,6 +349,84 @@ func TestWindowSyncHealsLostFinalCredit(t *testing.T) {
 	}
 }
 
+// TestPiggybackChaosBidirectional is the piggyback loss test: both ends of
+// one windowed go-back-N channel stream data at each other over a fabric
+// eating 20% of *all* frames, so piggybacked credits and acks routinely
+// die with the data frame carrying them. Recovery must not depend on the
+// ride: a lost piggybacked credit is superseded by a later advertisement
+// (or the window-sync timer), a lost piggybacked ack by retransmission and
+// re-ack. The run proves credit monotonicity and go-back-N recovery hold
+// with the piggyback path fully engaged.
+func TestPiggybackChaosBidirectional(t *testing.T) {
+	for _, seed := range []int64{7, 42, 1995} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const window, n = 4, 50
+			mem := transport.NewMem()
+			mem.SetDropRate(0.20, seed)
+			procs := realCluster(t, 2, mem, nil)
+			for _, p := range procs {
+				p.OnException(func(error) {}) // trailing-ack give-up after peer exit
+			}
+			gbn := func() ErrorControl { return NewGoBackN(8, 10*time.Millisecond) }
+			ch0 := procs[0].Open(1, ChannelConfig{ID: 3, Flow: syncedWindow(window), Error: gbn()})
+			ch1 := procs[1].Open(0, ChannelConfig{ID: 3, Flow: syncedWindow(window), Error: gbn()})
+			flows := []*WindowFlow{ch0.Flow().(*WindowFlow), ch1.Flow().(*WindowFlow)}
+
+			got := make([][]int, 2)
+			for i, cc := range []*Channel{ch0, ch1} {
+				i, cc, flow := i, cc, flows[i]
+				procs[i].TCreate("dual", mts.PrioDefault, func(th *Thread) {
+					buf := make([]byte, 1)
+					sent, rcvd := 0, 0
+					for sent < n || rcvd < n {
+						if sent < n {
+							cc.Send(th, 0, []byte{byte(sent)})
+							sent++
+							if out := flow.Outstanding(); out < 0 || out > window {
+								t.Errorf("end %d: window violated: %d outstanding", i, out)
+							}
+						}
+						if rcvd < n {
+							cc.RecvInto(th, buf, Any)
+							got[i] = append(got[i], int(buf[0]))
+							rcvd++
+						}
+					}
+				})
+			}
+			runReal(procs)
+
+			if mem.Dropped() == 0 {
+				t.Fatal("fault injection never dropped anything — test proves nothing")
+			}
+			piggy := int64(0)
+			for i, cc := range []*Channel{ch0, ch1} {
+				s := cc.Stats()
+				piggy += s.CtrlPiggybacked
+				if len(got[i]) != n {
+					t.Fatalf("end %d delivered %d of %d", i, len(got[i]), n)
+				}
+				for k, v := range got[i] {
+					if v != k {
+						t.Fatalf("end %d reordered at %d: %v", i, k, got[i])
+					}
+				}
+				if cc.Error().(*GoBackN).Retransmissions() == 0 {
+					t.Fatalf("end %d never retransmitted — loss did not exercise recovery", i)
+				}
+				// Credit monotonicity survived whatever the fabric ate.
+				if out := flows[i].Outstanding(); out < 0 || out > window {
+					t.Fatalf("end %d: %d outstanding at exit", i, out)
+				}
+			}
+			if piggy == 0 {
+				t.Fatal("no control ever piggybacked — bidirectional traffic should ride constantly")
+			}
+		})
+	}
+}
+
 // TestCreditsNeverMoveBackwards is the cumulative-credit property test:
 // for arbitrary interleavings of duplicated, reordered, and stale
 // advertisements (including counter wrap-around), the sender's credited

@@ -87,6 +87,14 @@ type Config struct {
 	// and rate timers use it. Defaults to RT.After (real time). Sim
 	// harnesses must pass the engine's virtual timer.
 	After func(d time.Duration, fn func())
+	// CtrlFlushDelay bounds how long a channel's pending reverse-direction
+	// control (cumulative credit advertisements, acks) may wait to
+	// piggyback on a data frame before a standalone control frame flushes
+	// it. 0 selects DefaultCtrlFlushDelay; negative disables the piggyback
+	// window entirely — every control word flushes standalone the moment
+	// it is produced (the pre-v3 wire behavior, useful for experiments
+	// isolating the piggyback effect).
+	CtrlFlushDelay time.Duration
 	// ArrivalPollDelay models Approach 1's receive discovery latency: the
 	// NCS receive system thread polls p4 underneath (§4.2 — NCS_recv is
 	// built on p4_messages_available/p4_recv), so a message that arrives
@@ -158,6 +166,16 @@ type Proc struct {
 	waiterFree []*recvWaiter
 	ctrlFree   []*transport.Message
 
+	// sendRun and batchMsgs are the send loop's burst scratch: the
+	// same-destination run under accumulation and the message vector
+	// handed to a transport.BatchSender. Only the send system thread
+	// touches them.
+	sendRun   []*sendReq
+	batchMsgs []*transport.Message
+
+	// ctrlFlush is the resolved CtrlFlushDelay.
+	ctrlFlush time.Duration
+
 	// channels holds every open channel, keyed by (peer, channel ID).
 	// Default channels (ID 0) are created lazily from the Config
 	// templates; explicit channels come from Open.
@@ -190,6 +208,10 @@ func New(cfg Config) *Proc {
 		cfg.After = cfg.RT.After
 	}
 	p := &Proc{cfg: cfg}
+	p.ctrlFlush = cfg.CtrlFlushDelay
+	if p.ctrlFlush == 0 {
+		p.ctrlFlush = DefaultCtrlFlushDelay
+	}
 	p.channels = make(map[chanKey]*Channel)
 	p.onException = func(err error) {
 		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
@@ -276,6 +298,11 @@ func (p *Proc) userDone() {
 	}
 	p.closing = true
 	for _, c := range p.channels {
+		// Control still waiting for a piggyback ride must leave before
+		// the system threads may exit: the peer's sender role may be
+		// blocked on exactly this credit or ack, and the flush timer may
+		// never fire once the runtime winds down.
+		c.flushCtrl()
 		c.flow.shutdown()
 		c.errc.shutdown()
 	}
@@ -456,6 +483,25 @@ func (p *Proc) sendCtrl(to ProcID, ch ChannelID, tag int, payload uint32, withPa
 	p.enqueueSend(req)
 }
 
+// sendCtrlVec is sendCtrl with a multi-word payload: one control frame
+// carries a whole batch of queued acknowledgements (4 bytes each) — the
+// flush path's framing for selective-repeat ack bursts. Consumers iterate
+// the words with forEachCtrlWord.
+func (p *Proc) sendCtrlVec(to ProcID, ch ChannelID, tag int, words []uint32) {
+	m := p.getCtrlMsg()
+	m.From = p.cfg.ID
+	m.To = to
+	m.Channel = ch
+	m.Tag = tag
+	for _, w := range words {
+		m.Data = wire.AppendUint32(m.Data, w)
+	}
+	req := p.getReq()
+	req.m = m
+	req.ctrl = true
+	p.enqueueSend(req)
+}
+
 // getCtrlMsg draws a control message from the freelist; its Data buffer is
 // reset to zero length but keeps its backing array.
 func (p *Proc) getCtrlMsg() *transport.Message {
@@ -473,10 +519,20 @@ func (p *Proc) putCtrlMsg(m *transport.Message) {
 	p.ctrlFree = append(p.ctrlFree, m)
 }
 
+// maxSendBurst bounds one same-destination run handed to a carrier's
+// batch path, so a saturating bulk stream cannot delay its own callers'
+// wakeups (or a priority preemption point) indefinitely.
+const maxSendBurst = 64
+
 // sendLoop is the send system thread (Figure 8's "S"). It drains the
-// priority queue highest level first: control traffic, then channels in
-// descending priority order.
+// priority queue highest level first — control traffic, then channels in
+// descending priority order — a whole burst per wakeup: admitted requests
+// accumulate into same-destination runs that go to the carrier through
+// transport.BatchSender in one call when it offers batching, so
+// per-message carrier costs (locks, wakeups, syscalls) amortize across
+// the burst.
 func (p *Proc) sendLoop(st *mts.Thread) {
+	bs, batched := p.cfg.Endpoint.(transport.BatchSender)
 	for {
 		if p.sendQ.empty() {
 			if p.mayShutdown() {
@@ -487,41 +543,91 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 			st.Park("send idle")
 			continue
 		}
-		req := p.sendQ.pop()
 		p.traceSys("send", trace.Comm)
-		// Data messages pass their channel's flow-control and
-		// error-control admission; a controller that cannot admit now
-		// takes ownership of the request and re-enqueues it later, so
-		// this loop never blocks on data while control traffic (credits,
-		// acks, retransmissions — raw requests bypass admission) is
-		// waiting behind it.
-		if req.m.Tag >= 0 && !req.raw {
-			if req.ch.closed {
-				// The channel closed while this request sat queued (Send
-				// raced Close): fail it exactly like shutdown failed the
-				// already-deferred ones, before any discipline can admit
-				// it into a torn-down window. Read the address before
-				// failSend recycles the request.
-				ch, to := req.m.Channel, req.m.To
-				p.failSend(req)
-				p.exception(fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
-				continue
-			}
-			if !req.flowOK {
-				if !req.ch.flow.admit(req) {
+		run := p.sendRun[:0]
+		for !p.sendQ.empty() {
+			req := p.sendQ.pop()
+			// Data messages pass their channel's flow-control and
+			// error-control admission; a controller that cannot admit now
+			// takes ownership of the request and re-enqueues it later, so
+			// this loop never blocks on data while control traffic
+			// (credits, acks, retransmissions — raw requests bypass
+			// admission) is waiting behind it.
+			if req.m.Tag >= 0 && !req.raw {
+				if req.ch.closed {
+					// The channel closed while this request sat queued
+					// (Send raced Close): fail it exactly like shutdown
+					// failed the already-deferred ones, before any
+					// discipline can admit it into a torn-down window.
+					// Read the address before failSend recycles the
+					// request.
+					ch, to := req.m.Channel, req.m.To
+					p.failSend(req)
+					p.exception(fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
 					continue
 				}
-				req.flowOK = true
+				if !req.flowOK {
+					if !req.ch.flow.admit(req) {
+						continue
+					}
+					req.flowOK = true
+				}
+				if !req.ch.errc.admit(req) {
+					continue
+				}
 			}
-			if !req.ch.errc.admit(req) {
-				continue
+			// Reverse-direction control rides along: a departing data
+			// frame (first transmission or retransmission alike) picks up
+			// its channel's pending credit advertisement and ack.
+			if req.m.Tag >= 0 && req.ch != nil {
+				req.ch.attachPiggy(req.m)
+			}
+			if len(run) > 0 && (req.m.To != run[len(run)-1].m.To || len(run) >= maxSendBurst) {
+				run = p.flushRun(st, bs, run)
+			}
+			run = append(run, req)
+			if !batched {
+				run = p.flushRun(st, bs, run)
 			}
 		}
-		p.cfg.Endpoint.Send(st, req.m)
+		p.sendRun = p.flushRun(st, bs, run)
+	}
+}
+
+// flushRun hands one same-destination run to the carrier — a single
+// SendBatch call when it offers batching — then completes the requests:
+// channel counters, caller wakeups, freelist recycling. It returns the
+// emptied run slice for reuse.
+func (p *Proc) flushRun(st *mts.Thread, bs transport.BatchSender, run []*sendReq) []*sendReq {
+	if len(run) == 0 {
+		return run
+	}
+	if p.cfg.Tracer != nil {
+		for _, req := range run {
+			p.traceChan(req.ch, trace.Comm)
+		}
+	}
+	if bs != nil && len(run) > 1 {
+		ms := p.batchMsgs[:0]
+		for _, req := range run {
+			ms = append(ms, req.m)
+		}
+		bs.SendBatch(st, ms)
+		for i := range ms {
+			ms[i] = nil
+		}
+		p.batchMsgs = ms[:0]
+	} else {
+		for _, req := range run {
+			p.cfg.Endpoint.Send(st, req.m)
+		}
+	}
+	for i, req := range run {
 		if req.ch != nil && !req.raw {
 			req.ch.sent++
 			req.ch.bytesSent += int64(len(req.m.Data))
 		}
+		p.traceChan(req.ch, trace.Idle)
 		if req.caller != nil {
 			p.cfg.RT.Unblock(req.caller, false)
 		}
@@ -532,7 +638,19 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 			p.putCtrlMsg(req.m)
 		}
 		p.putReq(req)
+		run[i] = nil
 	}
+	return run[:0]
+}
+
+// traceChan records a channel-lane state change (no-op without a Tracer):
+// each channel gets its own timeline next to the system threads', so a
+// traced run shows which class was on the wire when.
+func (p *Proc) traceChan(c *Channel, s trace.State) {
+	if c == nil || p.cfg.Tracer == nil {
+		return
+	}
+	p.cfg.Tracer.Set(c.lane, s)
 }
 
 func (p *Proc) traceSysClose(name string) {
@@ -556,6 +674,18 @@ func (t *Thread) Recv(fromThread int, fromProc ProcID) ([]byte, Addr) {
 func (t *Thread) RecvTagged(tag int, fromThread int, fromProc ProcID) ([]byte, Addr) {
 	data, addr, _ := t.recvTagOut(tag, fromThread, fromProc)
 	return data, addr
+}
+
+// RecvInto is Recv delivering into the caller's buffer — the shape of the
+// paper's actual NCS_recv(thread, process, buffer) call. It blocks like
+// Recv, copies the payload into buf (panicking if buf is too small — the
+// caller declared its capacity, exactly as in the C API), and returns the
+// payload length and source. Because the payload is copied out, the
+// message's pooled frame recycles into the wire pool, so a steady-state
+// RecvInto loop over a pooled carrier (Mem, real TCP, UDP/ATM) allocates
+// nothing — the allocation-free receive the host-overhead argument wants.
+func (t *Thread) RecvInto(buf []byte, fromThread int, fromProc ProcID) (int, Addr) {
+	return t.recvIntoOn(buf, 0, Any, fromThread, fromProc)
 }
 
 // TryRecv is the non-blocking probe-and-receive variant; ok is false when
@@ -669,21 +799,37 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 		m := p.rxIn.pop()
 		p.traceSys("recv", trace.Comm)
 
-		// Control traffic is consumed by the channel it belongs to.
+		// Control traffic is consumed by the channel it belongs to; its
+		// payload is read on the spot, so a pooled frame recycles
+		// immediately — steady credit/ack streams allocate no rx buffers.
 		if m.Tag < 0 {
 			p.handleControl(m)
+			m.Release()
 			continue
 		}
 		c, ok := p.lookupChannel(m.From, m.Channel)
 		if !ok {
 			p.exception(fmt.Errorf("data on unopened channel %d from proc %d", m.Channel, m.From))
+			m.Release()
 			continue
+		}
+		// Piggybacked control applies before anything else: it is the
+		// peer's receiver-role state for this channel and stays valid
+		// whether this data copy turns out fresh, duplicate, or addressed
+		// to a closed channel (standalone control on closed channels is
+		// consumed too, and both words are supersede-safe).
+		if m.HasCredit {
+			c.flow.onCredit(m.Credit)
+		}
+		if m.HasAck {
+			c.errc.onAck(m.Ack)
 		}
 		if c.closed {
 			// This end tore the channel down; without teardown signaling
 			// the peer may still be transmitting. Drop, and let its error
 			// control give up as against a dead process.
 			p.exception(fmt.Errorf("data on closed channel %d from proc %d", m.Channel, m.From))
+			m.Release()
 			continue
 		}
 		// Error control may suppress duplicates / out-of-order arrivals.

@@ -34,6 +34,12 @@ type ErrorControl interface {
 	onData(m *transport.Message) bool
 	// onControl consumes this discipline's control messages (acks).
 	onControl(m *transport.Message)
+	// onAck consumes one acknowledgement word, whether it arrived in a
+	// standalone control frame (onControl routes each payload word here)
+	// or piggybacked on a reverse-direction data frame. Its meaning is
+	// discipline-defined: cumulative under go-back-N, selective under
+	// selective repeat.
+	onAck(v uint32)
 	// pending reports in-flight messages still awaiting acknowledgement;
 	// the process's system threads stay alive while it is non-zero.
 	pending() int
@@ -53,6 +59,7 @@ func (NoErrorControl) init(*Channel)                  {}
 func (NoErrorControl) admit(*sendReq) bool            { return true }
 func (NoErrorControl) onData(*transport.Message) bool { return true }
 func (NoErrorControl) onControl(*transport.Message)   {}
+func (NoErrorControl) onAck(uint32)                   {}
 func (NoErrorControl) pending() int                   { return 0 }
 func (NoErrorControl) shutdown()                      {}
 
@@ -191,24 +198,34 @@ func (g *GoBackN) onData(m *transport.Message) bool {
 		g.sendAck(g.expected - 1)
 		return true
 	case wire.SeqNewer(g.expected, m.ESeq):
-		// Duplicate: re-ack so the sender's window slides.
+		// Duplicate: re-ack so the sender's window slides. The frame will
+		// never be read, so its pooled buffer recycles here.
 		g.sendAck(g.expected - 1)
+		m.Release()
 		return false
 	default:
 		// Gap: discard and re-ack the last in-order sequence.
 		g.sendAck(g.expected - 1)
+		m.Release()
 		return false
 	}
 }
 
+// sendAck queues the cumulative ack for piggybacking on reverse data (or
+// the channel's flush timer): being cumulative, a newer value simply
+// supersedes a queued one, so a burst of arrivals costs one ack frame.
 func (g *GoBackN) sendAck(upTo uint32) {
-	g.p.sendCtrl(g.ch.peer, g.ch.id, tagGBNAck, upTo, true)
+	g.ch.queueAck(upTo, true)
 }
 
-// onControl slides the window up to a cumulative ack. Comparisons are
-// wrap-safe (wire.SeqNewer), like the flow tier's credit advertisements.
 func (g *GoBackN) onControl(m *transport.Message) {
-	acked := ctrlPayload(m)
+	forEachCtrlWord(m, g.onAck)
+}
+
+// onAck slides the window up to a cumulative ack, standalone or
+// piggybacked. Comparisons are wrap-safe (wire.SeqNewer), like the flow
+// tier's credit advertisements.
+func (g *GoBackN) onAck(acked uint32) {
 	progressed := false
 	for len(g.unacked) > 0 && !wire.SeqNewer(g.unacked[0].ESeq, acked) {
 		g.unacked = g.unacked[1:]

@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/trace"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
 
 // Message-passing filters (paper Figures 6 and 12): adapters that map the
 // primitives of existing tools onto NCS so "any parallel/distributed
@@ -62,15 +67,39 @@ func (t *Thread) recvTagOut(tag, fromThread int, fromProc ProcID) ([]byte, Addr,
 }
 
 // recvOn is the blocking receive body shared by Thread.Recv (channel 0)
-// and Channel.Recv.
+// and Channel.Recv. The returned payload is the application's to keep, so
+// the message's frame cannot recycle — RecvInto is the allocation-free
+// variant.
 func (t *Thread) recvOn(ch ChannelID, tag, fromThread int, fromProc ProcID) ([]byte, Addr, int) {
+	m := t.recvMsgOn(ch, tag, fromThread, fromProc)
+	return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, m.Tag
+}
+
+// recvIntoOn is the blocking receive body of the RecvInto variants: the
+// payload is copied into the caller's buffer and the message's pooled
+// frame returns to the wire pool, so a steady-state receive loop on a
+// pooled carrier allocates nothing.
+func (t *Thread) recvIntoOn(buf []byte, ch ChannelID, tag, fromThread int, fromProc ProcID) (int, Addr) {
+	m := t.recvMsgOn(ch, tag, fromThread, fromProc)
+	if len(buf) < len(m.Data) {
+		panic(fmt.Sprintf("core: RecvInto buffer (%d bytes) smaller than message (%d bytes)", len(buf), len(m.Data)))
+	}
+	n := copy(buf, m.Data)
+	from := Addr{Proc: m.From, Thread: m.FromThread}
+	m.Release()
+	return n, from
+}
+
+// recvMsgOn blocks until a message matching the pattern is consumed and
+// returns it.
+func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *transport.Message {
 	p := t.proc
 	if i := p.matchStore(ch, tag, fromThread, fromProc, t.idx); i >= 0 {
 		m := p.store[i]
 		p.store = append(p.store[:i], p.store[i+1:]...)
 		p.consume(t.mt, m)
 		p.received++
-		return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, m.Tag
+		return m
 	}
 	w := p.getWaiter()
 	w.t = t
@@ -85,7 +114,7 @@ func (t *Thread) recvOn(ch ChannelID, tag, fromThread int, fromProc ProcID) ([]b
 	p.received++
 	got := w.got
 	p.putWaiter(w)
-	return got.Data, Addr{Proc: got.From, Thread: got.FromThread}, got.Tag
+	return got
 }
 
 // getWaiter draws a recvWaiter from the freelist (or allocates); putWaiter

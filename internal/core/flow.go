@@ -37,6 +37,14 @@ type FlowControl interface {
 	onDelivered(m *transport.Message)
 	// onControl consumes this discipline's control messages.
 	onControl(m *transport.Message)
+	// onCredit consumes one credit advertisement word, whether it arrived
+	// in a standalone control frame (onControl routes here) or
+	// piggybacked on a reverse-direction data frame.
+	onCredit(v uint32)
+	// creditSent notifies the receiver role that a queued advertisement
+	// actually left (piggybacked or flushed standalone), so threshold
+	// bookkeeping tracks what the peer has really been told.
+	creditSent(v uint32)
 	// shutdown tears the discipline down: timers stop and requests still
 	// gated inside it fail (their callers unblock; the proc's exception
 	// handler reports them). Runs at Channel.Close and at process close;
@@ -55,6 +63,8 @@ func (NoFlowControl) init(*Channel)                  {}
 func (NoFlowControl) admit(*sendReq) bool            { return true }
 func (NoFlowControl) onDelivered(*transport.Message) {}
 func (NoFlowControl) onControl(*transport.Message)   {}
+func (NoFlowControl) onCredit(uint32)                {}
+func (NoFlowControl) creditSent(uint32)              {}
 func (NoFlowControl) shutdown()                      {}
 
 // DefaultWindowSyncInterval is the period of WindowFlow's window-sync
@@ -83,6 +93,17 @@ const DefaultWindowSyncInterval = 50 * time.Millisecond
 // GoBackN or SelectiveRepeat on lossy fabrics). Once error control
 // redelivers it, the receiver's cumulative count advances and the window
 // reopens.
+//
+// Advertisements ride the data plane when they can: between forced
+// advertisements the cumulative count waits on the channel for a
+// reverse-direction data frame to piggyback on (or the channel's flush
+// timer). Every advertEvery = ¾·Window deliveries the count is flushed
+// immediately so a one-way peer's window never runs dry waiting for
+// reverse traffic — one standalone frame then covers the whole batch of
+// deliveries, which is why steady one-way flow costs ~1/advertEvery
+// control frames per message instead of one each. Loss semantics are
+// untouched: a piggybacked advertisement that dies with its frame is
+// superseded exactly like a standalone one.
 type WindowFlow struct {
 	// Window is the channel's credit (>= 1).
 	Window int
@@ -103,10 +124,18 @@ type WindowFlow struct {
 	deferred list.FIFO[*sendReq]
 
 	// Receiver side: cumulative count of data messages delivered locally,
-	// advertised to the peer on every delivery and on every sync tick.
-	delivered uint32
-	syncOn    bool
-	syncFn    func()
+	// advertised to the peer piggybacked on reverse data or in standalone
+	// control frames, and re-advertised on every sync tick. lastAdv is
+	// the newest count actually sent; advertEvery is the delivery count
+	// past lastAdv that forces an immediate standalone advertisement
+	// (3/4 of the window) so the peer's window never runs dry waiting for
+	// a piggyback opportunity — between thresholds the advertisement
+	// rides reverse data frames or the channel's flush timer.
+	delivered   uint32
+	lastAdv     uint32
+	advertEvery uint32
+	syncOn      bool
+	syncFn      func()
 	// idleSyncs counts consecutive sync ticks with no intervening
 	// delivery; past maxIdleSyncs the timer stops re-arming so a
 	// long-lived idle channel does not chatter forever (the next delivery
@@ -148,6 +177,10 @@ func (w *WindowFlow) init(c *Channel) {
 	if w.SyncInterval <= 0 {
 		w.SyncInterval = DefaultWindowSyncInterval
 	}
+	w.advertEvery = uint32(3 * w.Window / 4)
+	if w.advertEvery < 1 {
+		w.advertEvery = 1
+	}
 	// Pre-bound so each re-arm schedules without a fresh closure.
 	w.syncFn = w.syncFire
 }
@@ -169,19 +202,41 @@ func (w *WindowFlow) outstanding() int { return int(w.sent - w.credited) }
 func (w *WindowFlow) onDelivered(m *transport.Message) {
 	w.delivered++
 	w.idleSyncs = 0
-	w.advertise()
+	if w.delivered-w.lastAdv >= w.advertEvery {
+		// Enough credit has accumulated that the peer's window may be
+		// running dry: advertise right now, standalone if need be.
+		w.advertise()
+	} else {
+		// Defer: the advertisement rides the next data frame toward the
+		// peer, or the channel's flush timer sends it standalone. Either
+		// way it is cumulative, so one frame covers every delivery since
+		// the last advertisement.
+		w.c.queueCredit(w.delivered)
+	}
 	w.armSync()
 }
 
-// advertise sends the cumulative delivered count to the sender. Absolute,
-// not incremental: losing this frame costs nothing once any later one (or
-// a sync tick's re-advertisement) gets through.
+// advertise flushes the cumulative delivered count to the sender
+// immediately. Absolute, not incremental: losing this frame costs nothing
+// once any later one (or a sync tick's re-advertisement) gets through.
 func (w *WindowFlow) advertise() {
-	w.c.p.sendCtrl(w.c.peer, w.c.id, tagFlowAck, w.delivered, true)
+	w.c.pendCredit = w.delivered
+	w.c.pendCreditOn = true
+	w.c.flushCtrl()
 }
 
+// creditSent implements FlowControl: a queued advertisement left the
+// process (on a data frame or standalone), so the threshold counts from
+// this value now.
+func (w *WindowFlow) creditSent(v uint32) { w.lastAdv = v }
+
 func (w *WindowFlow) onControl(m *transport.Message) {
-	adv := ctrlPayload(m)
+	forEachCtrlWord(m, w.onCredit)
+}
+
+// onCredit consumes one cumulative advertisement, standalone or
+// piggybacked.
+func (w *WindowFlow) onCredit(adv uint32) {
 	if !wire.SeqNewer(adv, w.credited) {
 		// Duplicate or reordered advertisement: a newer one already
 		// superseded it. Credits never move backwards.
@@ -373,6 +428,8 @@ func (r *RateFlow) timerFire() {
 
 func (r *RateFlow) onDelivered(*transport.Message) {}
 func (r *RateFlow) onControl(*transport.Message)   {}
+func (r *RateFlow) onCredit(uint32)                {}
+func (r *RateFlow) creditSent(uint32)              {}
 
 func (r *RateFlow) shutdown() {
 	if r.closed {
@@ -394,3 +451,13 @@ func (r *RateFlow) Tokens() float64 {
 
 // ctrlPayload reads the uint32 payload of a control message.
 func ctrlPayload(m *transport.Message) uint32 { return wire.Uint32(m.Data) }
+
+// forEachCtrlWord iterates the 4-byte words of a control payload in order.
+// Flush frames batch several acknowledgements into one frame (selective
+// repeat's ack bursts); cumulative consumers are word-order insensitive
+// anyway.
+func forEachCtrlWord(m *transport.Message, fn func(uint32)) {
+	for b := m.Data; len(b) >= 4; b = b[4:] {
+		fn(wire.Uint32(b))
+	}
+}

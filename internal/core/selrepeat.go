@@ -148,8 +148,10 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 	if m.ESeq == 0 {
 		return true
 	}
-	// Ack every received copy individually (selective ack).
-	s.p.sendCtrl(s.ch.peer, s.ch.id, tagGBNAck, m.ESeq, true)
+	// Ack every received copy individually (selective ack); acks queue
+	// for piggybacking on reverse data, and the flush path batches a
+	// burst's worth into one standalone frame when none flows.
+	s.ch.queueAck(m.ESeq, false)
 	switch {
 	case m.ESeq == s.expected:
 		s.expected++
@@ -177,16 +179,32 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 		return true
 	case wire.SeqNewer(m.ESeq, s.expected):
 		if _, dup := s.buffered[m.ESeq]; !dup {
+			// Retained for the in-order flush: ownership (and the pooled
+			// buffer) stays with the message until delivery. The
+			// piggybacked control words were already applied on arrival —
+			// clear them so the flush re-pass through recvLoop does not
+			// consume them twice (harmless for the protocol, but it would
+			// count phantom stale advertisements).
+			m.HasCredit, m.HasAck = false, false
 			s.buffered[m.ESeq] = m
+		} else {
+			m.Release() // copy of an already-buffered arrival
 		}
 		return false
 	default:
-		return false // duplicate of an already-delivered message
+		// Duplicate of an already-delivered message: never read again.
+		m.Release()
+		return false
 	}
 }
 
 func (s *SelectiveRepeat) onControl(m *transport.Message) {
-	seq := ctrlPayload(m)
+	forEachCtrlWord(m, s.onAck)
+}
+
+// onAck marks one selectively-acknowledged sequence, standalone or
+// piggybacked.
+func (s *SelectiveRepeat) onAck(seq uint32) {
 	if pending, ok := s.inflight[seq]; ok {
 		pending.acked = true
 		s.slide()

@@ -41,6 +41,12 @@ type TCPEndpoint struct {
 	conns   map[transport.ProcID]*net.TCPConn
 	seq     uint32
 	closed  bool
+
+	// batchBufs/batchVecs stage one SendBatch run's pooled frames and the
+	// writev vector over them. Only the owning process's send system
+	// thread calls Send/SendBatch, so no lock guards them.
+	batchBufs []*wire.Buf
+	batchVecs net.Buffers
 }
 
 // Attach creates an endpoint for proc listening on an ephemeral loopback
@@ -111,16 +117,73 @@ func (e *TCPEndpoint) Send(t *mts.Thread, m *transport.Message) {
 	e.seq++
 	m.Seq = e.seq
 	e.mu.Unlock()
-	// Length prefix and message share one pooled buffer and one write
-	// (no Nagle-provoking split), recycled once the kernel has the bytes.
-	wb := wire.GetBuf(4 + m.WireSize())
-	wb.B = append(wb.B, 0, 0, 0, 0)
-	wb.B = m.MarshalAppend(wb.B)
-	binary.BigEndian.PutUint32(wb.B[:4], uint32(len(wb.B)-4))
+	wb := frameMessage(m)
 	_, err = conn.Write(wb.B)
 	wire.PutBuf(wb)
 	if err != nil {
 		panic("tcpip: write: " + err.Error())
+	}
+}
+
+// frameMessage encodes one length-prefixed wire frame into a pooled
+// buffer: prefix and message share the buffer and leave in one write (no
+// Nagle-provoking split). The single framing authority for Send and
+// SendBatch.
+func frameMessage(m *transport.Message) *wire.Buf {
+	wb := wire.GetBuf(4 + m.WireSize())
+	wb.B = append(wb.B, 0, 0, 0, 0)
+	wb.B = m.MarshalAppend(wb.B)
+	binary.BigEndian.PutUint32(wb.B[:4], uint32(len(wb.B)-4))
+	return wb
+}
+
+// SendBatch implements transport.BatchSender: every frame of a
+// same-destination run is length-prefixed into its own pooled buffer and
+// the whole run leaves in a single writev (net.Buffers.WriteTo) — one
+// syscall for the burst instead of one per message.
+func (e *TCPEndpoint) SendBatch(t *mts.Thread, ms []*transport.Message) {
+	if len(ms) == 0 {
+		return
+	}
+	conn, err := e.connTo(ms[0].To)
+	if err != nil {
+		panic("tcpip: " + err.Error())
+	}
+	bufs := e.batchBufs[:0]
+	vecs := e.batchVecs[:0]
+	e.mu.Lock()
+	for _, m := range ms {
+		if m.From != e.proc {
+			e.mu.Unlock()
+			panic(fmt.Sprintf("tcpip: proc %d sending as %d", e.proc, m.From))
+		}
+		if m.To != ms[0].To {
+			e.mu.Unlock()
+			panic("tcpip: SendBatch run mixes destinations")
+		}
+		e.seq++
+		m.Seq = e.seq
+	}
+	e.mu.Unlock()
+	for _, m := range ms {
+		wb := frameMessage(m)
+		bufs = append(bufs, wb)
+		vecs = append(vecs, wb.B)
+	}
+	// Keep the (possibly re-grown) scratch arrays before WriteTo consumes
+	// the vector in place by advancing its slice header.
+	e.batchBufs = bufs
+	e.batchVecs = vecs
+	_, err = vecs.WriteTo(conn)
+	for i, wb := range e.batchBufs {
+		wire.PutBuf(wb)
+		e.batchBufs[i] = nil
+		e.batchVecs[i] = nil
+	}
+	e.batchBufs = e.batchBufs[:0]
+	e.batchVecs = e.batchVecs[:0]
+	if err != nil {
+		panic("tcpip: writev: " + err.Error())
 	}
 }
 
@@ -188,17 +251,18 @@ func (e *TCPEndpoint) readLoop(conn *net.TCPConn) {
 		if n > 64<<20 {
 			return // implausible frame; drop the stream
 		}
-		// The frame buffer recycles as soon as Unmarshal has copied the
-		// payload out for delivery.
+		// The pooled frame travels with the message (zero-copy payload
+		// alias); it recycles when the consumer copies the payload out —
+		// RecvInto, a control handler — closing the pool loop.
 		fb := wire.GetBuf(int(n))
 		fb.B = fb.B[:n]
 		if _, err := io.ReadFull(conn, fb.B); err != nil {
 			wire.PutBuf(fb)
 			return
 		}
-		m, err := transport.Unmarshal(fb.B)
-		wire.PutBuf(fb)
+		m, err := wire.UnmarshalPooled(fb)
 		if err != nil {
+			wire.PutBuf(fb)
 			return
 		}
 		e.rt.Post(func() {

@@ -36,6 +36,18 @@ type Mem struct {
 	// selects — e.g. only one channel's traffic — so tests can break one
 	// traffic class and assert another is unaffected.
 	dropClass func(*Message) bool
+	// Batching counters: SendBatch calls with more than one message and
+	// the messages they carried (benchmarks report them next to the
+	// control-plane counters).
+	batchCalls, batchedMsgs int64
+}
+
+// BatchStats reports how much traffic rode the batched path: multi-message
+// SendBatch calls and the messages they carried.
+func (n *Mem) BatchStats() (calls, msgs int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.batchCalls, n.batchedMsgs
 }
 
 // NewMem returns an empty mesh.
@@ -93,7 +105,7 @@ func (n *Mem) Attach(proc ProcID, rt *mts.Runtime) *MemEndpoint {
 		panic(fmt.Sprintf("transport: duplicate endpoint for proc %d", proc))
 	}
 	ep := &MemEndpoint{net: n, proc: proc, rt: rt}
-	ep.drainFn = ep.drainOne
+	ep.drainFn = ep.drainAll
 	n.endpoints[proc] = ep
 	return ep
 }
@@ -108,13 +120,21 @@ type MemEndpoint struct {
 	handler Handler
 
 	// inbox queues marshalled frames awaiting entry into the scheduler
-	// domain; one Post of drainFn is outstanding per frame. The pre-bound
-	// func and head-index queue keep the steady-state delivery path free
-	// of per-message closure and slice allocations.
+	// domain; each enqueue Posts drainFn, which delivers everything queued
+	// (so one Post per *batch* suffices and later Posts find the inbox
+	// already drained). The pre-bound func and head-index queue keep the
+	// steady-state delivery path free of per-message closure and slice
+	// allocations.
 	inmu    sync.Mutex
-	inbox   [][]byte
+	inbox   []*wire.Buf
 	inHead  int
 	drainFn func()
+
+	// batchScratch and dropScratch stage one SendBatch call's marshalled
+	// frames and fault-injection verdicts; only the sending process's
+	// send system thread touches them.
+	batchScratch []*wire.Buf
+	dropScratch  []bool
 }
 
 // Proc implements Endpoint.
@@ -125,6 +145,22 @@ func (e *MemEndpoint) SetHandler(h Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handler = h
+}
+
+// dropLocked runs fault injection for one message; callers hold n.mu.
+func (n *Mem) dropLocked(m *Message) bool {
+	n.sendCount++
+	drop := n.dropEvery > 0 && n.sendCount%n.dropEvery == 0
+	if !drop && n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {
+		drop = true
+	}
+	if drop && n.dropClass != nil && !n.dropClass(m) {
+		drop = false
+	}
+	if drop {
+		n.dropped++
+	}
+	return drop
 }
 
 // Send implements Endpoint. Mem accepts instantly, so the calling thread is
@@ -140,17 +176,7 @@ func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
 		n.mu.Unlock()
 		panic(fmt.Sprintf("transport: send to unknown proc %d", m.To))
 	}
-	n.sendCount++
-	drop := n.dropEvery > 0 && n.sendCount%n.dropEvery == 0
-	if !drop && n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {
-		drop = true
-	}
-	if drop && n.dropClass != nil && !n.dropClass(m) {
-		drop = false
-	}
-	if drop {
-		n.dropped++
-	}
+	drop := n.dropLocked(m)
 	latency := n.latency
 	n.mu.Unlock()
 	if drop {
@@ -158,46 +184,126 @@ func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
 	}
 	// Roundtrip through the codec: the receiver gets an independent copy,
 	// exactly as if the bytes crossed a wire. The marshal is the single
-	// copy on this path — ownership of the buffer transfers to the
-	// receiver, which decodes it zero-copy (UnmarshalOwned).
-	frame := m.MarshalAppend(make([]byte, 0, m.WireSize()))
+	// copy on this path — ownership of the pooled frame transfers to the
+	// receiver, which decodes it zero-copy (UnmarshalPooled); consumers
+	// that copy the payload out recycle it, so steady-state traffic runs
+	// on a fixed set of buffers instead of churning the allocator.
+	fb := wire.GetBuf(m.WireSize())
+	fb.B = m.MarshalAppend(fb.B)
 	if latency > 0 {
-		time.AfterFunc(latency, func() { dst.enqueue(frame) })
+		time.AfterFunc(latency, func() { dst.enqueue(fb) })
 		return
 	}
-	dst.enqueue(frame)
+	dst.enqueue(fb)
+}
+
+// SendBatch implements BatchSender: one mesh-lock acquisition runs fault
+// injection for the whole run, and the surviving frames enter the
+// destination's scheduler domain under a single Post — one wakeup per
+// burst instead of one per message.
+func (e *MemEndpoint) SendBatch(t *mts.Thread, ms []*Message) {
+	if len(ms) == 0 {
+		return
+	}
+	n := e.net
+	n.mu.Lock()
+	dst, ok := n.endpoints[ms[0].To]
+	if !ok {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("transport: send to unknown proc %d", ms[0].To))
+	}
+	if len(ms) > 1 {
+		n.batchCalls++
+		n.batchedMsgs += int64(len(ms))
+	}
+	// Only the fault-injection verdicts need the mesh lock (the seeded
+	// RNG); the marshal copies run after unlock so one sender's burst
+	// never serializes the whole mesh behind its memcpy loop.
+	drops := e.dropScratch[:0]
+	for _, m := range ms {
+		if m.From != e.proc {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("transport: proc %d sending message from %d", e.proc, m.From))
+		}
+		if m.To != ms[0].To {
+			n.mu.Unlock()
+			panic("transport: SendBatch run mixes destinations")
+		}
+		drops = append(drops, n.dropLocked(m))
+	}
+	latency := n.latency
+	n.mu.Unlock()
+	e.dropScratch = drops[:0]
+	frames := e.batchScratch[:0]
+	for i, m := range ms {
+		if drops[i] {
+			continue
+		}
+		fb := wire.GetBuf(m.WireSize())
+		fb.B = m.MarshalAppend(fb.B)
+		frames = append(frames, fb)
+	}
+	if latency > 0 {
+		// Latency is modeled per message; batching would distort it.
+		for _, fb := range frames {
+			fb := fb
+			time.AfterFunc(latency, func() { dst.enqueue(fb) })
+		}
+	} else if len(frames) > 0 {
+		dst.enqueueBatch(frames)
+	}
+	// The frames now belong to the destination's inbox; drop the scratch
+	// references so the backing array pins nothing between batches.
+	for i := range frames {
+		frames[i] = nil
+	}
+	e.batchScratch = frames[:0]
 }
 
 // enqueue hands one marshalled frame to the endpoint and schedules a drain
 // in its scheduler domain.
-func (e *MemEndpoint) enqueue(frame []byte) {
+func (e *MemEndpoint) enqueue(fb *wire.Buf) {
 	e.inmu.Lock()
-	e.inbox = append(e.inbox, frame)
+	e.inbox = append(e.inbox, fb)
 	e.inmu.Unlock()
 	e.rt.Post(e.drainFn)
 }
 
-// drainOne delivers the oldest queued frame. It runs in the scheduler
-// domain; exactly one call is posted per enqueued frame.
-func (e *MemEndpoint) drainOne() {
+// enqueueBatch hands a run of marshalled frames to the endpoint under one
+// lock acquisition and one scheduler Post.
+func (e *MemEndpoint) enqueueBatch(frames []*wire.Buf) {
 	e.inmu.Lock()
-	frame := e.inbox[e.inHead]
-	e.inbox[e.inHead] = nil
-	e.inHead++
-	if e.inHead == len(e.inbox) {
-		e.inbox = e.inbox[:0]
-		e.inHead = 0
-	}
+	e.inbox = append(e.inbox, frames...)
 	e.inmu.Unlock()
-	got, err := wire.UnmarshalOwned(frame)
-	if err != nil {
-		panic("transport: self-produced message failed to decode: " + err.Error())
+	e.rt.Post(e.drainFn)
+}
+
+// drainAll delivers every queued frame. It runs in the scheduler domain;
+// a Post that finds the inbox already drained (an earlier Post consumed
+// its frames along with that Post's own) returns immediately.
+func (e *MemEndpoint) drainAll() {
+	for {
+		e.inmu.Lock()
+		if e.inHead == len(e.inbox) {
+			e.inbox = e.inbox[:0]
+			e.inHead = 0
+			e.inmu.Unlock()
+			return
+		}
+		fb := e.inbox[e.inHead]
+		e.inbox[e.inHead] = nil
+		e.inHead++
+		e.inmu.Unlock()
+		got, err := wire.UnmarshalPooled(fb)
+		if err != nil {
+			panic("transport: self-produced message failed to decode: " + err.Error())
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h == nil {
+			panic(fmt.Sprintf("transport: proc %d has no handler", e.proc))
+		}
+		h(got)
 	}
-	e.mu.Lock()
-	h := e.handler
-	e.mu.Unlock()
-	if h == nil {
-		panic(fmt.Sprintf("transport: proc %d has no handler", e.proc))
-	}
-	h(got)
 }

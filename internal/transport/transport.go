@@ -60,3 +60,27 @@ type Endpoint interface {
 	// peer sends.
 	SetHandler(h Handler)
 }
+
+// BatchSender is the optional batched transmit path: an endpoint that
+// implements it receives same-destination runs of messages in one call, so
+// per-message constant costs (locking, wakeups, syscalls) amortize across
+// the run. The NCS send system thread drains its priority queue a burst at
+// a time and hands each run to SendBatch when the carrier offers it,
+// falling back to per-message Send otherwise.
+//
+// Contract: every message in ms has the same To (the caller splits runs at
+// destination changes), ms is non-empty, and the slice is only valid for
+// the duration of the call (the caller reuses it). Like Send, every
+// message is fully serialized before SendBatch returns, and the semantics
+// must be identical to calling Send for each message in order — batching
+// is a constant-cost optimization, never a reordering.
+//
+// Mem amortizes one scheduler wakeup per batch, the real TCP endpoint
+// turns a batch into a single writev, and the UDP/ATM carrier feeds its
+// per-VC queues under one lock so the writer can coalesce cell trains.
+// The simulated carriers (SimTCP, SimATM) deliberately do not implement
+// it: their per-message trap/syscall costs are the calibrated 1995 model
+// the tables pin, and batching would change modeled time.
+type BatchSender interface {
+	SendBatch(t *mts.Thread, ms []*Message)
+}

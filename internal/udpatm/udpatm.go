@@ -1,8 +1,11 @@
 // Package udpatm is the real-mode ATM emulation: NCS messages are chunked
 // into AAL5 CPCS-PDUs, segmented into genuine 53-octet ATM cells
 // (internal/atm), and carried between processes in UDP datagrams on the
-// loopback interface — one datagram per AAL5 frame, datagram payload being
-// the frame's cells laid end to end.
+// loopback interface. A datagram's payload is cells laid end to end: one
+// AAL5 frame when traffic is sparse, or a *cell train* — consecutive
+// queued frames of the same VC coalesced up to the emulated MTU — when a
+// burst is in flight, so a burst costs one syscall per train instead of
+// one per frame (AAL5 end-of-frame cells delimit the frames inside).
 //
 // This substitutes for the paper's FORE SBA-200 + ATM switch fabric: the
 // cell framing, HEC protection, per-VC reassembly and CRC-32 verification
@@ -124,6 +127,13 @@ type Endpoint struct {
 	cellsRecv int64
 	badCells  int64
 
+	// Cell-train accounting (guarded by txMu): datagrams that carried more
+	// than one AAL5 frame, the total frames they carried, and the largest
+	// train in cells.
+	trains      int64
+	trainFrames int64
+	maxTrain    int64
+
 	closed chan struct{}
 }
 
@@ -235,6 +245,15 @@ func (e *Endpoint) CellsSent() int64 {
 	return e.cellsSent
 }
 
+// TrainStats reports cell-train coalescing: how many datagrams carried
+// more than one AAL5 frame, the total frames those trains carried, and the
+// largest train seen (in cells). A single-frame datagram is not a train.
+func (e *Endpoint) TrainStats() (trains, frames, maxCells int64) {
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	return e.trains, e.trainFrames, e.maxTrain
+}
+
 // CellsReceived returns received cell count.
 func (e *Endpoint) CellsReceived() int64 { return e.cellsRecv }
 
@@ -294,19 +313,46 @@ func (e *Endpoint) queue(vc atm.VC) *vcTx {
 }
 
 // Send implements transport.Endpoint: the message is chunked, each chunk
-// segmented into AAL5 cells, and each frame (one UDP datagram) is filed in
-// its VC's transmit queue — the VC the message's channel rides. A single
-// writer drains the queues highest-priority first, policing each VC's
-// cells against its GCRA contract. The message is fully serialized into
-// pooled frame buffers before Send returns, so the caller may reuse m and
-// m.Data; the buffers recycle once the kernel has copied each datagram.
+// segmented into AAL5 cells, and each frame is filed in its VC's transmit
+// queue — the VC the message's channel rides. A single writer drains the
+// queues highest-priority first, policing each VC's cells against its GCRA
+// contract, and coalesces consecutive frames of one VC into a single
+// cell-train datagram. The message is fully serialized into pooled frame
+// buffers before Send returns, so the caller may reuse m and m.Data; the
+// buffers recycle once the kernel has copied each datagram.
 func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
-	if m.From != e.proc {
-		panic(fmt.Sprintf("udpatm: proc %d sending as %d", e.proc, m.From))
-	}
 	dst := e.addrOf(m.To)
 	if dst == nil {
 		panic(fmt.Sprintf("udpatm: unknown destination proc %d", m.To))
+	}
+	e.enqueueFrames(m, dst)
+}
+
+// SendBatch implements transport.BatchSender: the destination resolves
+// once for the whole same-destination run, and the burst's frames land in
+// the VC queues back to back, which is what lets the writer goroutine form
+// long cell trains.
+func (e *Endpoint) SendBatch(t *mts.Thread, ms []*transport.Message) {
+	if len(ms) == 0 {
+		return
+	}
+	dst := e.addrOf(ms[0].To)
+	if dst == nil {
+		panic(fmt.Sprintf("udpatm: unknown destination proc %d", ms[0].To))
+	}
+	for _, m := range ms {
+		if m.To != ms[0].To {
+			panic("udpatm: SendBatch run mixes destinations")
+		}
+		e.enqueueFrames(m, dst)
+	}
+}
+
+// enqueueFrames serializes one message into AAL5 frames on its VC's
+// transmit queue; the shared body of Send and SendBatch.
+func (e *Endpoint) enqueueFrames(m *transport.Message, dst *net.UDPAddr) {
+	if m.From != e.proc {
+		panic(fmt.Sprintf("udpatm: proc %d sending as %d", e.proc, m.From))
 	}
 	e.mu.Lock()
 	e.seq++
@@ -361,6 +407,14 @@ func (e *Endpoint) Send(t *mts.Thread, m *transport.Message) {
 // (~2 MB of 8 KB AAL5 frames); past it Send waits for the writer.
 const maxQueuedFrames = 256
 
+// maxTrainBytes bounds one cell-train datagram: consecutive AAL5 frames of
+// one VC are laid end to end (cells back to back) in a single UDP datagram
+// up to this size — the emulated MTU of the UDP "physical layer". It stays
+// under both the 64 KB read buffer and the UDP payload ceiling. Receivers
+// need no train awareness: AAL5 end-of-frame cells delimit frames inside
+// the train exactly as on a real link.
+const maxTrainBytes = 60 * 1024
+
 // nominalLinkBps is the modeled physical-link rate the GCRA departure
 // clock paces cells at: the 140 Mbps TAXI interface of the paper's
 // testbed. cellWireTime is one 53-octet cell's serialization time on it.
@@ -401,6 +455,27 @@ func (e *Endpoint) writeLoop() {
 		fb := q.frames.Pop()
 		e.queued--
 		e.spaceCond.Signal()
+		// Cell train: coalesce consecutive frames of this VC into one
+		// MTU-bounded datagram. The cells ride back to back exactly as a
+		// real adapter would clock them out, AAL5 end-of-frame markers
+		// keep the frame boundaries, and the per-cell GCRA judgement
+		// below is unchanged — only the syscall count shrinks.
+		framesInTrain := int64(1)
+		for q.frames.Size() > 0 && len(fb.B)+len(q.frames.Peek().B) <= maxTrainBytes {
+			nb := q.frames.Pop()
+			e.queued--
+			e.spaceCond.Signal()
+			fb.B = append(fb.B, nb.B...)
+			wire.PutBuf(nb)
+			framesInTrain++
+		}
+		if framesInTrain > 1 {
+			e.trains++
+			e.trainFrames += framesInTrain
+			if cells := int64(len(fb.B) / atm.CellSize); cells > e.maxTrain {
+				e.maxTrain = cells
+			}
+		}
 		gcra := q.gcra
 		dst := q.dst
 		e.txMu.Unlock()
@@ -519,8 +594,15 @@ func (e *Endpoint) pushCell(cell atm.Cell) {
 	if !done {
 		return
 	}
-	m, err := transport.Unmarshal(msgWire)
+	// Copy the completed message out of the reused assembly buffer into a
+	// pooled frame that travels with it; the consumer recycles it
+	// (RecvInto, control handlers), so the reassembly tail stops feeding
+	// the allocator.
+	fb := wire.GetBuf(len(msgWire))
+	fb.B = append(fb.B, msgWire...)
+	m, err := wire.UnmarshalPooled(fb)
 	if err != nil {
+		wire.PutBuf(fb)
 		e.badCells++
 		return
 	}

@@ -416,3 +416,64 @@ func TestCloseIdempotent(t *testing.T) {
 		t.Fatal("second close errored")
 	}
 }
+
+// TestCellTrainsCoalesce: a burst of AAL5 frames queued on one VC must
+// leave as cell-train datagrams (several frames per syscall) and still
+// reassemble into the exact original message — the train is a wire-layout
+// no-op because AAL5 end-of-frame cells delimit the frames inside it.
+func TestCellTrainsCoalesce(t *testing.T) {
+	net := NewNetwork()
+	rtA, rtB := newRT("a"), newRT("b")
+	epA, err := net.Attach(0, rtA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epA.Close()
+	epB, err := net.Attach(1, rtB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer epB.Close()
+
+	// A 512 KB message spans ~64 AAL5 frames queued back to back on one
+	// VC: exactly the burst shape the writer coalesces.
+	payload := make([]byte, 512*1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	var waiter *mts.Thread
+	epB.SetHandler(func(m *transport.Message) {
+		got = m.Data
+		rtB.Unblock(waiter, false)
+	})
+	epA.SetHandler(func(m *transport.Message) {})
+	waiter = rtB.Create("waiter", mts.PrioDefault, func(th *mts.Thread) {
+		if got == nil { // guard: delivery may beat the park
+			th.Park("msg")
+		}
+	})
+	rtA.Create("send", mts.PrioDefault, func(th *mts.Thread) {
+		epA.Send(th, &transport.Message{From: 0, To: 1, Data: payload})
+	})
+	done := make(chan struct{}, 2)
+	go func() { rtA.Run(); done <- struct{}{} }()
+	go func() { rtB.Run(); done <- struct{}{} }()
+	<-done
+	<-done
+
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes", len(got))
+	}
+	trains, frames, maxCells := epA.TrainStats()
+	if trains == 0 {
+		t.Fatal("no cell trains formed for a 64-frame burst")
+	}
+	if frames <= trains {
+		t.Fatalf("trains carried %d frames over %d trains — no coalescing", frames, trains)
+	}
+	if maxCells*53 > 60*1024 {
+		t.Fatalf("train of %d cells exceeds the MTU bound", maxCells)
+	}
+	t.Logf("cell trains: %d trains carried %d frames (largest %d cells)", trains, frames, maxCells)
+}

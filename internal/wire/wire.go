@@ -54,7 +54,23 @@ type Message struct {
 	// channel. Endpoints carry it untouched; the ATM carriers additionally
 	// use it to select the virtual circuit.
 	Channel ChannelID
-	Data    []byte
+	// Credit and Ack are the piggybacked control plane (format v3): a data
+	// frame can carry the sending end's *receiver-role* state for its
+	// channel — the flow tier's cumulative credit advertisement and one
+	// error-control acknowledgement — so steady bidirectional traffic needs
+	// no standalone control frames. HasCredit/HasAck gate each word's
+	// presence on the wire; an absent word costs nothing (the v2 header
+	// size). Both values are consumed with wrap-safe SeqNewer semantics by
+	// the flow tier (the error tier's ack may be cumulative or selective,
+	// per discipline), so a piggybacked word lost with its data frame is
+	// simply superseded by a later one.
+	Credit, Ack       uint32
+	HasCredit, HasAck bool
+	Data              []byte
+
+	// pooled, when non-nil, is the pooled buffer Data aliases
+	// (UnmarshalPooled); Release returns it to the pool.
+	pooled *Buf
 }
 
 func (m *Message) String() string {
@@ -62,11 +78,21 @@ func (m *Message) String() string {
 		m.From, m.FromThread, m.To, m.ToThread, m.Channel, m.Tag, m.Seq, len(m.Data))
 }
 
-// HeaderSize is the encoded header length in bytes. Version 2 of the
+// HeaderSize is the encoded base header length in bytes. Version 2 of the
 // format grew the header from 32 to 36 bytes: a 2-byte channel ID plus two
-// reserved bytes, and the magic was bumped so a v1 peer rejects v2 frames
-// loudly instead of misparsing them.
+// reserved bytes. Version 3 keeps the 36-byte base but gives the first
+// reserved byte to a flags field gating *optional* trailing control words
+// (piggybacked credit/ack, 4 bytes each, between header and payload), so a
+// frame carrying no control still costs exactly the v2 size. The magic is
+// bumped at each revision so an older peer rejects newer frames loudly
+// instead of misparsing them.
 const HeaderSize = 36
+
+// Optional-field flags (header byte 34).
+const (
+	flagCredit = 1 << 0 // 4-byte cumulative credit advertisement present
+	flagAck    = 1 << 1 // 4-byte error-control acknowledgement present
+)
 
 // ErrShortMessage reports a truncated wire message.
 var ErrShortMessage = errors.New("wire: short message")
@@ -74,10 +100,24 @@ var ErrShortMessage = errors.New("wire: short message")
 // ErrMagic reports a wire message with a bad magic number.
 var ErrMagic = errors.New("wire: bad magic")
 
-const wireMagic = 0x4E435332 // "NCS2"
+const wireMagic = 0x4E435333 // "NCS3"
 
-// WireSize returns the encoded length of the message (header + payload).
-func (m *Message) WireSize() int { return HeaderSize + len(m.Data) }
+// optSize returns the encoded length of the message's optional control
+// words.
+func (m *Message) optSize() int {
+	n := 0
+	if m.HasCredit {
+		n += 4
+	}
+	if m.HasAck {
+		n += 4
+	}
+	return n
+}
+
+// WireSize returns the encoded length of the message (header + optional
+// control words + payload).
+func (m *Message) WireSize() int { return HeaderSize + m.optSize() + len(m.Data) }
 
 // MarshalAppend encodes the message (header + payload) onto dst and returns
 // the extended slice. Callers that size dst with WireSize (typically via
@@ -96,7 +136,21 @@ func (m *Message) MarshalAppend(dst []byte) []byte {
 	binary.BigEndian.PutUint32(h[24:], m.Seq)
 	binary.BigEndian.PutUint32(h[28:], m.ESeq)
 	binary.BigEndian.PutUint16(h[32:], uint16(m.Channel))
-	// h[34:36] reserved, zero.
+	var flags byte
+	if m.HasCredit {
+		flags |= flagCredit
+	}
+	if m.HasAck {
+		flags |= flagAck
+	}
+	h[34] = flags
+	// h[35] reserved, zero.
+	if m.HasCredit {
+		dst = AppendUint32(dst, m.Credit)
+	}
+	if m.HasAck {
+		dst = AppendUint32(dst, m.Ack)
+	}
 	return append(dst, m.Data...)
 }
 
@@ -107,9 +161,10 @@ func (m *Message) Marshal() []byte {
 	return m.MarshalAppend(make([]byte, 0, m.WireSize()))
 }
 
-// decodeHeader fills m's header fields from b, which the caller has
-// validated to be at least HeaderSize long with a good magic.
-func decodeHeader(m *Message, b []byte) {
+// decodeHeader fills m's header and optional-word fields from b, which the
+// caller has validated with checkWire, and returns the offset where the
+// payload begins.
+func decodeHeader(m *Message, b []byte) int {
 	m.From = ProcID(int32(binary.BigEndian.Uint32(b[4:])))
 	m.To = ProcID(int32(binary.BigEndian.Uint32(b[8:])))
 	m.FromThread = int(int32(binary.BigEndian.Uint32(b[12:])))
@@ -118,6 +173,19 @@ func decodeHeader(m *Message, b []byte) {
 	m.Seq = binary.BigEndian.Uint32(b[24:])
 	m.ESeq = binary.BigEndian.Uint32(b[28:])
 	m.Channel = ChannelID(binary.BigEndian.Uint16(b[32:]))
+	flags := b[34]
+	off := HeaderSize
+	if flags&flagCredit != 0 {
+		m.Credit = binary.BigEndian.Uint32(b[off:])
+		m.HasCredit = true
+		off += 4
+	}
+	if flags&flagAck != 0 {
+		m.Ack = binary.BigEndian.Uint32(b[off:])
+		m.HasAck = true
+		off += 4
+	}
+	return off
 }
 
 // AppendUint32 appends v to dst big-endian. Control-message payload writers
@@ -152,6 +220,17 @@ func checkWire(b []byte) error {
 	if binary.BigEndian.Uint32(b[0:]) != wireMagic {
 		return ErrMagic
 	}
+	// The optional control words the flags announce must be present too.
+	need := HeaderSize
+	if b[34]&flagCredit != 0 {
+		need += 4
+	}
+	if b[34]&flagAck != 0 {
+		need += 4
+	}
+	if len(b) < need {
+		return ErrShortMessage
+	}
 	return nil
 }
 
@@ -163,11 +242,43 @@ func Unmarshal(b []byte) (*Message, error) {
 		return nil, err
 	}
 	m := &Message{}
-	decodeHeader(m, b)
-	if len(b) > HeaderSize {
-		m.Data = append([]byte(nil), b[HeaderSize:]...)
+	off := decodeHeader(m, b)
+	if len(b) > off {
+		m.Data = append([]byte(nil), b[off:]...)
 	}
 	return m, nil
+}
+
+// UnmarshalPooled decodes a wire message that takes ownership of the
+// *pooled* buffer backing it: Data aliases the buffer past the header with
+// no copy, and Release hands the buffer back to the pool once the payload
+// has been consumed. This is the recycling delivery path for carriers that
+// stage each arriving message in its own GetBuf buffer (the in-process Mem
+// mesh, the real-TCP reader, the UDP/ATM reassembly tail): a consumer that
+// copies the payload out — RecvInto, control handlers — closes the loop,
+// so steady-state receive traffic stops allocating frame buffers at all.
+func UnmarshalPooled(fb *Buf) (*Message, error) {
+	m, err := UnmarshalOwned(fb.B)
+	if err != nil {
+		return nil, err
+	}
+	m.pooled = fb
+	return m, nil
+}
+
+// Release recycles the message's pooled backing buffer, if any; Data is
+// invalid afterwards. Only the consumer that owns the message may call it,
+// and only once the payload has been copied out or will never be read
+// (a control frame, a suppressed duplicate). Messages without a pooled
+// buffer ignore it, so the call is safe on every owning path.
+func (m *Message) Release() {
+	if m.pooled == nil {
+		return
+	}
+	fb := m.pooled
+	m.pooled = nil
+	m.Data = nil
+	PutBuf(fb)
 }
 
 // UnmarshalOwned decodes a wire message whose buffer ownership transfers to
@@ -180,9 +291,9 @@ func UnmarshalOwned(b []byte) (*Message, error) {
 		return nil, err
 	}
 	m := &Message{}
-	decodeHeader(m, b)
-	if len(b) > HeaderSize {
-		m.Data = b[HeaderSize:]
+	off := decodeHeader(m, b)
+	if len(b) > off {
+		m.Data = b[off:]
 	}
 	return m, nil
 }

@@ -36,6 +36,78 @@ func TestChannelRoundtripProperty(t *testing.T) {
 	}
 }
 
+// TestPiggybackRoundtripProperty: the optional control words (format v3)
+// carry any credit/ack combination losslessly, and a frame without them
+// encodes at exactly the base (v2) size.
+func TestPiggybackRoundtripProperty(t *testing.T) {
+	f := func(credit, ack uint32, hasCredit, hasAck bool, payload []byte) bool {
+		m := &Message{
+			From: 1, To: 2, Tag: 3, Channel: 9,
+			Credit: credit, HasCredit: hasCredit,
+			Ack: ack, HasAck: hasAck,
+			Data: payload,
+		}
+		if !hasCredit {
+			m.Credit = 0
+		}
+		if !hasAck {
+			m.Ack = 0
+		}
+		b := m.Marshal()
+		want := HeaderSize + len(payload)
+		if hasCredit {
+			want += 4
+		}
+		if hasAck {
+			want += 4
+		}
+		if len(b) != want {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return got.HasCredit == hasCredit && got.HasAck == hasAck &&
+			got.Credit == m.Credit && got.Ack == m.Ack &&
+			bytes.Equal(got.Data, payload) && got.Channel == 9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPiggybackTruncatedOptionals: a frame whose flags announce control
+// words the buffer does not contain must fail as short, not misparse the
+// payload as control.
+func TestPiggybackTruncatedOptionals(t *testing.T) {
+	m := &Message{From: 1, To: 2, Credit: 7, HasCredit: true, Ack: 9, HasAck: true}
+	b := m.Marshal()
+	for cut := HeaderSize; cut < len(b); cut++ {
+		if _, err := Unmarshal(b[:cut]); err != ErrShortMessage {
+			t.Fatalf("cut at %d: err = %v, want ErrShortMessage", cut, err)
+		}
+	}
+}
+
+// TestPiggybackOwnedAliases: UnmarshalOwned's zero-copy payload alias must
+// start after the optional words.
+func TestPiggybackOwnedAliases(t *testing.T) {
+	m := &Message{From: 1, To: 2, Credit: 41, HasCredit: true, Data: []byte("alias me")}
+	b := m.Marshal()
+	got, err := UnmarshalOwned(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Credit != 41 || !got.HasCredit || got.HasAck {
+		t.Fatalf("piggyback fields: %+v", got)
+	}
+	b[HeaderSize+4] = 'X'
+	if got.Data[0] != 'X' {
+		t.Fatal("payload does not alias past the credit word")
+	}
+}
+
 func TestAppendUint32Roundtrip(t *testing.T) {
 	f := func(v uint32) bool {
 		b := AppendUint32(nil, v)
