@@ -15,7 +15,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/hostif"
 	"repro/internal/mts"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/tcpip"
 	"repro/internal/transport"
+	"repro/internal/work"
 )
 
 // Table and figure benchmarks. Each regenerates one artifact of the
@@ -458,6 +462,377 @@ func BenchmarkScaleMesh(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_scale.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// collRow is one measured collective configuration in BENCH_collectives.
+// MemUsPerOp is real wall time on the in-process Mem mesh — bounded by the
+// host's core count, since the tree's parallel hops serialize on a small
+// machine. ModeledUsPerOp is virtual time over the simulated 100 Mb/s ATM
+// LAN (the repo's standard modeled metric), where each workstation's link
+// and CPU are modeled independently — the algorithmic critical path the
+// logarithmic rewrite targets.
+type collRow struct {
+	Op         string  `json:"op"`
+	N          int     `json:"n"`
+	Shape      string  `json:"shape"` // "tree" or "linear"
+	Iters      int     `json:"iters"`
+	MemUsPerOp float64 `json:"mem_us_per_op"`
+	MemMBps    float64 `json:"mem_mb_per_s,omitempty"`
+	ModeledUs  float64 `json:"modeled_us_per_op"`
+}
+
+// simCollective measures one collective's modeled latency: n NCS processes
+// over simulated TCP on the calibrated NYNET 1995 ATM LAN (the platform
+// model the Table benchmarks pin) run iters operations on a pinned
+// priority channel; the result is virtual microseconds per operation.
+func simCollective(op string, n, fanout, iters, payload int) float64 {
+	pl := bench.NYNET1995()
+	eng := sim.NewEngine()
+	eng.SetMaxTime(time.Hour)
+	net := netsim.NewATMLAN(eng, n, pl.ATMLAN)
+	cost := pl.TCP
+	procs := make([]*core.Proc, n)
+	for i := 0; i < n; i++ {
+		node := eng.NewNode(fmt.Sprintf("cn%d", i))
+		procs[i] = core.New(core.Config{
+			ID: core.ProcID(i), RT: node.RT(),
+			Endpoint: tcpip.NewSimTCP(node, net, i, cost),
+			Compute:  work.Sim(node),
+			After:    func(d time.Duration, fn func()) { eng.Schedule(d, fn) },
+		})
+	}
+	members := make([]core.Addr, n)
+	for i := range members {
+		members[i] = core.Addr{Proc: core.ProcID(i), Thread: 0}
+		for j := range members {
+			if i != j {
+				procs[i].Open(core.ProcID(j), core.ChannelConfig{ID: 1, Priority: 6})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i].TCreate("m", mts.PrioDefault, func(t *core.Thread) {
+			g := procs[i].NewGroup(members, core.GroupConfig{Channel: 1, Fanout: fanout})
+			buf := make([]byte, payload)
+			var data [][]byte
+			if op == "alltoall" {
+				data = make([][]byte, n)
+				for j := range data {
+					data[j] = make([]byte, payload)
+				}
+			}
+			for k := 0; k < iters; k++ {
+				switch op {
+				case "barrier":
+					g.Barrier(t)
+				case "bcast":
+					g.BcastInto(t, 0, buf)
+				case "alltoall":
+					g.AllToAll(t, data)
+				}
+			}
+		})
+	}
+	eng.Run()
+	return float64(time.Duration(eng.Now()).Microseconds()) / float64(iters)
+}
+
+// collProcs builds n NCS processes over one Mem mesh, each with its own
+// runtime, a priority channel (ID 1, prio 6) opened pairwise, and the
+// member list for a full group.
+func collProcs(n int) (*transport.Mem, []*core.Proc, []core.Addr) {
+	mem := transport.NewMem()
+	procs := make([]*core.Proc, n)
+	for i := range procs {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("coll%d", i), IdleTimeout: time.Minute})
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: mem.Attach(core.ProcID(i), rt)})
+	}
+	for i := range procs {
+		for j := range procs {
+			if i != j {
+				procs[i].Open(core.ProcID(j), core.ChannelConfig{ID: 1, Priority: 6})
+			}
+		}
+	}
+	members := make([]core.Addr, n)
+	for i := range members {
+		members[i] = core.Addr{Proc: core.ProcID(i), Thread: 0}
+	}
+	return mem, procs, members
+}
+
+func runProcs(procs []*core.Proc) time.Duration {
+	start := time.Now()
+	done := make(chan struct{}, len(procs))
+	for _, p := range procs {
+		p := p
+		go func() { p.Start(); done <- struct{}{} }()
+	}
+	for range procs {
+		<-done
+	}
+	return time.Since(start)
+}
+
+// BenchmarkCollectives measures the collective layer end to end: barrier
+// latency, broadcast throughput, and all-to-all throughput at
+// N ∈ {4, 8, 16}, each in tree form (binomial, Fanout 0) and linear form
+// (Fanout = N — the serial root-collected baseline), all pinned to a
+// priority channel. Each configuration is measured twice: wall clock on
+// the Mem mesh (real, but bounded by host cores) and modeled latency over
+// the simulated ATM LAN (the repo's standard virtual-time metric, where
+// the tree's parallel hops count). Results accumulate into
+// BENCH_collectives.json with tree-vs-linear speedups per N, so the
+// logarithmic rewrite's win is tracked run over run (CI diffs and gates
+// on it).
+func BenchmarkCollectives(b *testing.B) {
+	const bcastSize, a2aSize = 64 << 10, 8 << 10
+	// The harness invokes each sub-benchmark several times with growing
+	// b.N; keep only the final (longest) measurement per configuration,
+	// and run the deterministic sim once per configuration.
+	rowByKey := map[string]*collRow{}
+	var keys []string
+	simMemo := map[string]float64{}
+
+	measure := func(b *testing.B, op string, n, fanout int, mk func(self int) func(g *core.Group, t *core.Thread)) {
+		_, procs, members := collProcs(n)
+		for i := 0; i < n; i++ {
+			i := i
+			body := mk(i)
+			procs[i].TCreate("m", mts.PrioDefault, func(t *core.Thread) {
+				g := procs[i].NewGroup(members, core.GroupConfig{Channel: 1, Fanout: fanout})
+				for k := 0; k < b.N; k++ {
+					body(g, t)
+				}
+			})
+		}
+		b.ResetTimer()
+		elapsed := runProcs(procs)
+		b.StopTimer()
+		shape := "tree"
+		if fanout >= n {
+			shape = "linear"
+		}
+		payload := 0
+		switch op {
+		case "bcast":
+			payload = bcastSize
+		case "alltoall":
+			payload = a2aSize
+		}
+		key := fmt.Sprintf("%s/%d/%s", op, n, shape)
+		if _, ok := simMemo[key]; !ok {
+			simMemo[key] = simCollective(op, n, fanout, 10, payload)
+		}
+		row := collRow{Op: op, N: n, Shape: shape, Iters: b.N,
+			MemUsPerOp: float64(elapsed.Microseconds()) / float64(b.N),
+			ModeledUs:  simMemo[key]}
+		switch op {
+		case "bcast":
+			// Payload bytes delivered per op: N-1 members receive the root's
+			// buffer.
+			row.MemMBps = float64(bcastSize*(n-1)) / 1e6 / (elapsed.Seconds() / float64(b.N))
+			b.SetBytes(int64(bcastSize * (n - 1)))
+		case "alltoall":
+			row.MemMBps = float64(a2aSize*n*(n-1)) / 1e6 / (elapsed.Seconds() / float64(b.N))
+			b.SetBytes(int64(a2aSize * n * (n - 1)))
+		}
+		b.ReportMetric(row.MemUsPerOp, "mem_us/op")
+		b.ReportMetric(row.ModeledUs, "modeled_us/op")
+		if _, ok := rowByKey[key]; !ok {
+			keys = append(keys, key)
+		}
+		rowByKey[key] = &row
+	}
+
+	for _, n := range []int{4, 8, 16} {
+		for _, shape := range []struct {
+			name   string
+			fanout int
+		}{{"tree", 0}, {"linear", 1 << 20}} {
+			n, fanout := n, shape.fanout
+			b.Run(fmt.Sprintf("barrier/N=%d/%s", n, shape.name), func(b *testing.B) {
+				measure(b, "barrier", n, fanout, func(int) func(*core.Group, *core.Thread) {
+					return func(g *core.Group, t *core.Thread) { g.Barrier(t) }
+				})
+			})
+			b.Run(fmt.Sprintf("bcast/N=%d/%s", n, shape.name), func(b *testing.B) {
+				measure(b, "bcast", n, fanout, func(int) func(*core.Group, *core.Thread) {
+					buf := make([]byte, bcastSize)
+					return func(g *core.Group, t *core.Thread) { g.BcastInto(t, 0, buf) }
+				})
+			})
+			b.Run(fmt.Sprintf("alltoall/N=%d/%s", n, shape.name), func(b *testing.B) {
+				measure(b, "alltoall", n, fanout, func(int) func(*core.Group, *core.Thread) {
+					data := make([][]byte, n)
+					for j := range data {
+						data[j] = make([]byte, a2aSize)
+					}
+					return func(g *core.Group, t *core.Thread) { g.AllToAll(t, data) }
+				})
+			})
+		}
+	}
+
+	// Tree-vs-linear speedups per (op, N): the headline numbers. The
+	// modeled speedup is the algorithmic claim (each workstation's link and
+	// CPU modeled independently, so the tree's parallel hops count); the
+	// mem_wall speedup is what this host's core count lets the wall clock
+	// express. The acceptance bar for the rewrite is >= 2x modeled for
+	// barrier and bcast at N=16.
+	var rows []collRow
+	for _, k := range keys {
+		rows = append(rows, *rowByKey[k])
+	}
+	modeled := map[string]float64{}
+	memWall := map[string]float64{}
+	find := func(op string, n int, shape string) *collRow {
+		return rowByKey[fmt.Sprintf("%s/%d/%s", op, n, shape)]
+	}
+	for _, op := range []string{"barrier", "bcast", "alltoall"} {
+		for _, n := range []int{4, 8, 16} {
+			tr, ln := find(op, n, "tree"), find(op, n, "linear")
+			if tr != nil && ln != nil && tr.ModeledUs > 0 && tr.MemUsPerOp > 0 {
+				modeled[fmt.Sprintf("%s_n%d", op, n)] = ln.ModeledUs / tr.ModeledUs
+				memWall[fmt.Sprintf("%s_n%d", op, n)] = ln.MemUsPerOp / tr.MemUsPerOp
+			}
+		}
+	}
+	artifact := struct {
+		Bench      string             `json:"bench"`
+		GoOS       string             `json:"goos"`
+		GoArch     string             `json:"goarch"`
+		MaxProcs   int                `json:"gomaxprocs"`
+		Rows       []collRow          `json:"rows"`
+		SpeedupSim map[string]float64 `json:"tree_vs_linear_speedup_modeled"`
+		SpeedupMem map[string]float64 `json:"tree_vs_linear_speedup_mem_wall"`
+	}{
+		Bench: "BenchmarkCollectives", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Rows:     rows, SpeedupSim: modeled, SpeedupMem: memWall,
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_collectives.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScaleIncast is the many-to-one scale shape the ROADMAP called
+// for: N senders pour windowed bulk traffic into one receiver — the
+// gather/reduction arrival pattern, and the classic congestion shape. Each
+// sender rides its own windowed channel; the receiver drains them from
+// per-sender threads with RecvInto. BENCH_incast.json records aggregate
+// and per-sender throughput (min/max spread = fairness) plus the
+// control-plane split, and CI diffs it against the prior run.
+func BenchmarkScaleIncast(b *testing.B) {
+	const senders = 8
+	const size = 32 << 10
+	const window = 8
+
+	mem := transport.NewMem()
+	procs := make([]*core.Proc, senders+1)
+	for i := range procs {
+		rt := mts.New(mts.Config{Name: fmt.Sprintf("incast%d", i), IdleTimeout: time.Minute})
+		procs[i] = core.New(core.Config{ID: core.ProcID(i), RT: rt, Endpoint: mem.Attach(core.ProcID(i), rt)})
+	}
+	// Channel s+1 -> 0 per sender, windowed both ends.
+	tx := make([]*core.Channel, senders)
+	rx := make([]*core.Channel, senders)
+	for s := 0; s < senders; s++ {
+		tx[s] = procs[s+1].Open(0, core.ChannelConfig{ID: 1, Flow: core.NewWindowFlow(window)})
+		rx[s] = procs[0].Open(core.ProcID(s+1), core.ChannelConfig{ID: 1, Flow: core.NewWindowFlow(window)})
+	}
+	for s := 0; s < senders; s++ {
+		s := s
+		procs[0].TCreate(fmt.Sprintf("rx%d", s), mts.PrioDefault, func(t *core.Thread) {
+			buf := make([]byte, size)
+			for k := 0; k < b.N; k++ {
+				rx[s].RecvInto(t, buf, core.Any)
+			}
+		})
+		procs[s+1].TCreate("tx", mts.PrioDefault, func(t *core.Thread) {
+			buf := make([]byte, size)
+			for k := 0; k < b.N; k++ {
+				tx[s].Send(t, s, buf)
+			}
+		})
+	}
+
+	b.SetBytes(int64(senders * size))
+	b.ResetTimer()
+	elapsed := runProcs(procs)
+	b.StopTimer()
+
+	secs := elapsed.Seconds()
+	type senderRow struct {
+		Sender    int     `json:"sender"`
+		Msgs      int64   `json:"msgs"`
+		Bytes     int64   `json:"bytes"`
+		MBps      float64 `json:"mb_per_s"`
+		CtrlStand int64   `json:"ctrl_standalone"`
+		CtrlPiggy int64   `json:"ctrl_piggybacked"`
+	}
+	var rows []senderRow
+	var agg, minMBps, maxMBps float64
+	var standTotal, piggyTotal int64
+	for s := 0; s < senders; s++ {
+		st, sr := tx[s].Stats(), rx[s].Stats()
+		mbps := float64(st.BytesSent) / 1e6 / secs
+		rows = append(rows, senderRow{Sender: s, Msgs: st.Sent, Bytes: st.BytesSent, MBps: mbps,
+			CtrlStand: sr.CtrlStandalone, CtrlPiggy: sr.CtrlPiggybacked})
+		agg += mbps
+		if s == 0 || mbps < minMBps {
+			minMBps = mbps
+		}
+		if mbps > maxMBps {
+			maxMBps = mbps
+		}
+		standTotal += sr.CtrlStandalone
+		piggyTotal += sr.CtrlPiggybacked
+	}
+	b.ReportMetric(agg, "agg_MB/s")
+	if maxMBps > 0 {
+		b.ReportMetric(minMBps/maxMBps, "fairness")
+	}
+
+	batchCalls, batchedMsgs := mem.BatchStats()
+	artifact := struct {
+		Bench       string      `json:"bench"`
+		GoOS        string      `json:"goos"`
+		GoArch      string      `json:"goarch"`
+		Senders     int         `json:"senders"`
+		MsgSize     int         `json:"msg_size"`
+		Window      int         `json:"window"`
+		N           int         `json:"n"`
+		ElapsedNs   int64       `json:"elapsed_ns"`
+		AggMBps     float64     `json:"agg_mb_per_s"`
+		MinMBps     float64     `json:"min_sender_mb_per_s"`
+		MaxMBps     float64     `json:"max_sender_mb_per_s"`
+		CtrlStand   int64       `json:"ctrl_standalone"`
+		CtrlPiggy   int64       `json:"ctrl_piggybacked"`
+		BatchCalls  int64       `json:"batch_calls"`
+		BatchedMsgs int64       `json:"batched_msgs"`
+		PerSender   []senderRow `json:"per_sender"`
+	}{
+		Bench: "BenchmarkScaleIncast", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Senders: senders, MsgSize: size, Window: window, N: b.N,
+		ElapsedNs: elapsed.Nanoseconds(), AggMBps: agg,
+		MinMBps: minMBps, MaxMBps: maxMBps,
+		CtrlStand: standTotal, CtrlPiggy: piggyTotal,
+		BatchCalls: batchCalls, BatchedMsgs: batchedMsgs,
+		PerSender: rows,
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_incast.json", append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -23,9 +23,25 @@
 // scheduler post on Mem, one writev on real TCP, MTU-bounded cell-train
 // datagrams on UDP/ATM), and Thread.RecvInto/Channel.RecvInto — the
 // paper's receive-into-buffer call — recycles pooled receive frames so
-// steady-state traffic allocates nothing. bench_test.go in this directory
-// regenerates every table and figure of the paper's evaluation via `go
-// test -bench`, plus a per-channel throughput benchmark that emits
-// BENCH_channels.json and an N-procs × K-channels mesh benchmark that
-// emits BENCH_scale.json.
+// steady-state traffic allocates nothing.
+//
+// Group communication is tree-structured and channel-aware: core.Group
+// (Proc.NewGroup) precomputes a q-nomial tree and dissemination-barrier
+// schedule over an agreed member list and pins every collective —
+// Barrier, Bcast/BcastInto, Gather, Reduce, AllToAll — to a chosen
+// channel, so a synchronization phase rides a high-priority policed VC
+// while bulk exchange keeps its own class. GroupConfig.Fanout >= N
+// degenerates to the old serial linear algorithms, preserved as the A/B
+// baseline; the MPI and PVM filters route their collectives through
+// Group. Collective fan-out is enqueued as one burst per hop and both
+// sender- and receiver-side message structs recycle through pools, so a
+// barrier-plus-broadcast round allocates zero bytes steady-state.
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation via `go test -bench`, plus a per-channel
+// throughput benchmark that emits BENCH_channels.json, an N-procs ×
+// K-channels mesh benchmark that emits BENCH_scale.json, a tree-vs-linear
+// collective benchmark that emits BENCH_collectives.json (wall clock on
+// Mem plus modeled time on the calibrated NYNET simulation), and a
+// many-to-one incast benchmark that emits BENCH_incast.json.
 package repro

@@ -367,15 +367,15 @@ func (c *Channel) SendTagged(t *Thread, tag, toThread int, data []byte) {
 	if t.proc != c.p {
 		panic("core: thread sending on another process's channel")
 	}
-	c.p.sendOn(c, t, &transport.Message{
-		From:       c.p.cfg.ID,
-		To:         c.peer,
-		FromThread: t.idx,
-		ToThread:   toThread,
-		Tag:        tag,
-		Channel:    c.id,
-		Data:       data,
-	})
+	m := c.p.getDataMsg()
+	m.From = c.p.cfg.ID
+	m.To = c.peer
+	m.FromThread = t.idx
+	m.ToThread = toThread
+	m.Tag = tag
+	m.Channel = c.id
+	m.Data = data
+	c.p.sendOn(c, t, m)
 }
 
 // Recv receives the next message the peer sent on this channel to the

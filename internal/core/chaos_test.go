@@ -427,6 +427,50 @@ func TestPiggybackChaosBidirectional(t *testing.T) {
 	}
 }
 
+// TestRetransmitSurvivesSenderBufferReuse pins the error-control copy
+// semantics: Send lets the caller reuse its buffer the moment the first
+// transmission is serialized (the idiom every RecvInto/BcastInto loop
+// relies on), so a retransmission must carry the bytes as they were at
+// admission — not whatever the buffer holds by the time the timer fires.
+// The first data frame is destroyed, the sender immediately overwrites
+// its buffer with the second payload, and go-back-N's retransmission must
+// still deliver the original first payload.
+func TestRetransmitSurvivesSenderBufferReuse(t *testing.T) {
+	var droppedOne atomic.Bool
+	mem := transport.NewMem()
+	mem.SetDropRate(1.0, 1)
+	mem.SetDropClass(func(m *transport.Message) bool {
+		// Exactly the first data frame dies.
+		return m.Tag >= 0 && droppedOne.CompareAndSwap(false, true)
+	})
+	procs := realCluster(t, 2, mem, nil)
+	gbn := func() ErrorControl { return NewGoBackN(4, 10*time.Millisecond) }
+	ch0 := procs[0].Open(1, ChannelConfig{ID: 1, Error: gbn()})
+	ch1 := procs[1].Open(0, ChannelConfig{ID: 1, Error: gbn()})
+
+	procs[0].TCreate("sender", mts.PrioDefault, func(th *Thread) {
+		buf := []byte{1}
+		ch0.Send(th, 0, buf)
+		buf[0] = 2 // legal: the transfer was serialized before Send returned
+		ch0.Send(th, 0, buf)
+	})
+	var got []byte
+	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
+		for k := 0; k < 2; k++ {
+			data, _ := ch1.Recv(th, Any)
+			got = append(got, data[0])
+		}
+	})
+	runReal(procs)
+
+	if !droppedOne.Load() || mem.Dropped() == 0 {
+		t.Fatal("fault injection never dropped the first frame — test proves nothing")
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("delivered %v, want [1 2] — retransmission leaked the reused buffer", got)
+	}
+}
+
 // TestCreditsNeverMoveBackwards is the cumulative-credit property test:
 // for arbitrary interleavings of duplicated, reordered, and stale
 // advertisements (including counter wrap-around), the sender's credited

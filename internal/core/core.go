@@ -129,6 +129,11 @@ type sendReq struct {
 	// flowOK records that flow control already admitted this request (a
 	// deferred request re-enqueued with its credit attached).
 	flowOK bool
+	// fan, when non-nil, marks one request of a fan-out send: the thread
+	// parked once for the whole fan and wakes when every member request has
+	// flushed (or failed), since the shared payload must stay stable until
+	// the last copy is serialized.
+	fan *Thread
 }
 
 // recvWaiter is a thread parked in Recv.
@@ -138,7 +143,12 @@ type recvWaiter struct {
 	fromThread int
 	fromProc   ProcID
 	tag        int
-	got        *transport.Message
+	// multi, when non-nil, overrides (fromThread, fromProc): the waiter
+	// matches a message from *any* address in the set. Collectives and the
+	// out-of-order Gather/Reduce paths use it so one slow peer cannot
+	// head-of-line-block payloads that already arrived.
+	multi []Addr
+	got   *transport.Message
 }
 
 // Proc is one NCS process.
@@ -159,12 +169,17 @@ type Proc struct {
 	store   []*transport.Message
 	waiters []*recvWaiter
 
-	// reqFree, waiterFree, and ctrlFree recycle the per-call bookkeeping
-	// structs of the send/recv hot paths. All access happens in the
-	// scheduler domain, so no locking is needed.
+	// reqFree, waiterFree, ctrlFree, and dataFree recycle the per-call
+	// bookkeeping structs of the send/recv hot paths. All access happens in
+	// the scheduler domain, so no locking is needed. dataFree recycles
+	// sender-side data Message structs: every carrier serializes before
+	// Send returns and both error-control disciplines buffer private
+	// copies, so once flushRun has handed a data frame to the endpoint
+	// nothing references the struct and it can carry the next Send.
 	reqFree    []*sendReq
 	waiterFree []*recvWaiter
 	ctrlFree   []*transport.Message
+	dataFree   []*transport.Message
 
 	// sendRun and batchMsgs are the send loop's burst scratch: the
 	// same-destination run under accumulation and the message vector
@@ -186,7 +201,11 @@ type Proc struct {
 	closing  bool
 	started  bool
 
-	bar barrierState
+	// bars holds root-collected barrier state machines keyed by group
+	// membership hash (see barrier.go); groupSeq numbers Groups for their
+	// trace lanes (see coll.go).
+	bars     map[uint32]*barrierState
+	groupSeq int
 
 	onException func(error)
 
@@ -250,6 +269,9 @@ type Thread struct {
 	// meant to release, so NCS_block/NCS_unblock pairs cannot lose a
 	// wakeup regardless of scheduling order.
 	blockPermit bool
+	// fanLeft counts this thread's in-flight fan-out requests (coll.go's
+	// fanSend); the thread parks until the send loop retires the last one.
+	fanLeft int
 }
 
 // Idx returns the thread's NCS index within its process (the paper's
@@ -383,14 +405,14 @@ func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
 	}
 	p := t.proc
 	c := p.DefaultChannel(toProc)
-	p.sendOn(c, t, &transport.Message{
-		From:       p.cfg.ID,
-		To:         toProc,
-		FromThread: t.idx,
-		ToThread:   toThread,
-		Tag:        tag,
-		Data:       data,
-	})
+	m := p.getDataMsg()
+	m.From = p.cfg.ID
+	m.To = toProc
+	m.FromThread = t.idx
+	m.ToThread = toThread
+	m.Tag = tag
+	m.Data = data
+	p.sendOn(c, t, m)
 }
 
 // getReq draws a sendReq from the freelist (or allocates); putReq returns
@@ -418,10 +440,16 @@ func (p *Proc) putReq(req *sendReq) {
 // directly (Send returns no error), so the failure is reported through
 // the proc's exception handler.
 func (p *Proc) failSend(req *sendReq) {
-	caller := req.caller
+	caller, fan := req.caller, req.fan
+	if !req.ctrl && req.m != nil {
+		p.putDataMsg(req.m)
+	}
 	p.putReq(req)
 	if caller != nil {
 		p.cfg.RT.Unblock(caller, false)
+	}
+	if fan != nil {
+		p.fanDone(fan)
 	}
 }
 
@@ -517,6 +545,23 @@ func (p *Proc) putCtrlMsg(m *transport.Message) {
 	data := m.Data[:0]
 	*m = transport.Message{Data: data}
 	p.ctrlFree = append(p.ctrlFree, m)
+}
+
+// getDataMsg draws a sender-side data message from the freelist. Unlike
+// control messages its Data field aliases the caller's payload, so put
+// clears it entirely (pinning nothing between sends).
+func (p *Proc) getDataMsg() *transport.Message {
+	if n := len(p.dataFree); n > 0 {
+		m := p.dataFree[n-1]
+		p.dataFree = p.dataFree[:n-1]
+		return m
+	}
+	return &transport.Message{}
+}
+
+func (p *Proc) putDataMsg(m *transport.Message) {
+	*m = transport.Message{}
+	p.dataFree = append(p.dataFree, m)
 }
 
 // maxSendBurst bounds one same-destination run handed to a carrier's
@@ -631,16 +676,33 @@ func (p *Proc) flushRun(st *mts.Thread, bs transport.BatchSender, run []*sendReq
 		if req.caller != nil {
 			p.cfg.RT.Unblock(req.caller, false)
 		}
+		if req.fan != nil {
+			p.fanDone(req.fan)
+		}
 		// The transfer is on the wire and the caller woken: nothing
-		// references the request anymore, so it (and a pooled control
-		// message) returns to the freelist.
+		// references the request anymore, so it (and its pooled message —
+		// the endpoint serialized it, and the error-control disciplines
+		// buffer private copies for retransmission) returns to the
+		// freelist.
 		if req.ctrl {
 			p.putCtrlMsg(req.m)
+		} else {
+			p.putDataMsg(req.m)
 		}
 		p.putReq(req)
 		run[i] = nil
 	}
 	return run[:0]
+}
+
+// fanDone retires one request of a fan-out send (coll.go's fanSend): the
+// owning thread parks once for the whole fan and wakes when the last
+// request has been handed to the carrier — or failed at teardown.
+func (p *Proc) fanDone(t *Thread) {
+	t.fanLeft--
+	if t.fanLeft == 0 {
+		p.cfg.RT.Unblock(t.mt, false)
+	}
 }
 
 // traceChan records a channel-lane state change (no-op without a Tracer):
@@ -844,10 +906,37 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 	}
 }
 
+// waiterMatches tests an arriving message against a parked waiter's
+// pattern: the usual single-source pattern, or the any-of set used by
+// out-of-order collection.
+func (p *Proc) waiterMatches(w *recvWaiter, m *transport.Message) bool {
+	if w.multi == nil {
+		return p.matches(m, w.ch, w.tag, w.fromThread, w.fromProc, w.t.idx)
+	}
+	if m.Channel != w.ch || m.ToThread != w.t.idx {
+		return false
+	}
+	if w.tag != Any && m.Tag != w.tag {
+		return false
+	}
+	return addrIndex(w.multi, m) >= 0
+}
+
+// addrIndex returns the first index in set matching the message's source
+// address (Any wildcards an entry's thread), or -1.
+func addrIndex(set []Addr, m *transport.Message) int {
+	for i, a := range set {
+		if a.Proc == m.From && (a.Thread == Any || a.Thread == m.FromThread) {
+			return i
+		}
+	}
+	return -1
+}
+
 // dispatchData hands a data message to a parked waiter or stores it.
 func (p *Proc) dispatchData(rt *mts.Thread, m *transport.Message) {
 	for i, w := range p.waiters {
-		if p.matches(m, w.ch, w.tag, w.fromThread, w.fromProc, w.t.idx) {
+		if p.waiterMatches(w, m) {
 			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
 			// The receive thread performs the stack-to-app copy in its
 			// own context, then wakes the compute thread.
@@ -877,7 +966,7 @@ func (p *Proc) handleControl(m *transport.Message) {
 			c.errc.onControl(m)
 		}
 	case tagBarrier, tagBarrierRel:
-		p.bar.onMessage(p, m)
+		p.onBarrierMsg(m)
 	default:
 		p.exception(fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))
 	}
@@ -921,7 +1010,10 @@ func (t *Thread) Unblock(other *Thread) {
 
 // Bcast sends data to every address in list: the paper's NCS_bcast
 // (1-to-many group communication). Transfers are queued in list order
-// through the send system thread.
+// through the send system thread. This is the linear O(N) path — the
+// sender serializes one copy per destination; Group.Bcast is the
+// logarithmic tree alternative (and degenerates to this shape at
+// Fanout >= N, which is how the scale benches A/B the two).
 func (t *Thread) Bcast(list []Addr, data []byte) {
 	for _, a := range list {
 		t.Send(a.Thread, a.Proc, data)
@@ -929,12 +1021,22 @@ func (t *Thread) Bcast(list []Addr, data []byte) {
 }
 
 // Gather receives one message from every address in list (many-to-1),
-// returning payloads in list order.
+// returning payloads in list order. Arrivals complete out of order: a slow
+// peer delays only its own slot, never payloads already delivered (each
+// source's messages still fill its list slots in per-pair FIFO order).
+// Group.Gather is the tree-structured alternative for large N.
 func (t *Thread) Gather(list []Addr) [][]byte {
 	out := make([][]byte, len(list))
-	for i, a := range list {
-		data, _ := t.Recv(a.Thread, a.Proc)
-		out[i] = data
+	pending := append([]Addr(nil), list...)
+	slot := make([]int, len(list))
+	for i := range slot {
+		slot[i] = i
+	}
+	for len(pending) > 0 {
+		m, i := t.recvAnyOf(0, Any, pending)
+		out[slot[i]] = m.Data
+		pending = append(pending[:i], pending[i+1:]...)
+		slot = append(slot[:i], slot[i+1:]...)
 	}
 	return out
 }

@@ -138,9 +138,15 @@ func (g *GoBackN) admit(req *sendReq) bool {
 	}
 	req.m.ESeq = g.nextSeq
 	g.nextSeq++
-	// Buffer a private copy for retransmission: the transport may mutate
-	// Seq, and the application owns Data until delivery.
+	// Buffer a private copy for retransmission. The payload bytes are
+	// copied too: Send's contract lets the caller reuse its buffer the
+	// moment the first transmission is serialized, and collective hot
+	// paths (BcastInto, Gather's pack buffer) do exactly that — an aliased
+	// retransmission would carry the *next* operation's bytes under the
+	// old sequence number. The copy is the price of reliability on this
+	// channel; channels without error control pay nothing.
 	cp := *req.m
+	cp.Data = append([]byte(nil), req.m.Data...)
 	g.unacked = append(g.unacked, &cp)
 	g.armTimer()
 	return true

@@ -117,6 +117,44 @@ func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *
 	return got
 }
 
+// recvAnyOf blocks until a message on channel ch with the given tag (or
+// Any) arrives from *any* address in set, and returns the message together
+// with the matched set index. It is the multi-source receive under the
+// out-of-order Gather/Reduce paths and the collective layer's child
+// collection: arrivals complete in whatever order the network delivers
+// them, so one slow peer never head-of-line-blocks the rest. The set is
+// only read until the call returns; the caller may mutate it afterwards.
+func (t *Thread) recvAnyOf(ch ChannelID, tag int, set []Addr) (*transport.Message, int) {
+	p := t.proc
+	for i, m := range p.store {
+		if m.Channel != ch || m.ToThread != t.idx {
+			continue
+		}
+		if tag != Any && m.Tag != tag {
+			continue
+		}
+		if j := addrIndex(set, m); j >= 0 {
+			p.store = append(p.store[:i], p.store[i+1:]...)
+			p.consume(t.mt, m)
+			p.received++
+			return m, j
+		}
+	}
+	w := p.getWaiter()
+	w.t = t
+	w.ch = ch
+	w.tag = tag
+	w.multi = set
+	p.waiters = append(p.waiters, w)
+	p.traceThread(t, trace.Idle)
+	t.mt.Park("ncs recv")
+	p.traceThread(t, trace.Compute)
+	p.received++
+	got := w.got
+	p.putWaiter(w)
+	return got, addrIndex(set, got)
+}
+
 // getWaiter draws a recvWaiter from the freelist (or allocates); putWaiter
 // returns one once the woken receiver has read its match. Scheduler-domain
 // only, like the queues it feeds.

@@ -26,12 +26,37 @@ type MPIFilter struct {
 	t *Thread
 	// world lists the communicator's members in rank order.
 	world []ProcID
+	// gcfg configures the collective communicator (channel pinning, tree
+	// fanout); group is built lazily on the first collective call.
+	gcfg  GroupConfig
+	group *Group
 }
 
 // MPI returns the MPI-style view of an NCS thread, with the given
 // MPI_COMM_WORLD membership (rank i = world[i]).
 func MPI(t *Thread, world []ProcID) *MPIFilter {
 	return &MPIFilter{t: t, world: world}
+}
+
+// MPIOn is MPI with the collectives pinned to a channel and tree fanout of
+// the caller's choosing: Bcast and Barrier ride cfg.Channel (which must be
+// open to every other rank) instead of the default channel.
+func MPIOn(t *Thread, world []ProcID, cfg GroupConfig) *MPIFilter {
+	return &MPIFilter{t: t, world: world, gcfg: cfg}
+}
+
+// commGroup builds (once) the communicator's collective Group. Like the
+// point-to-point calls, the filter uses the same-index thread convention:
+// every rank must drive its filter from the same thread index.
+func (f *MPIFilter) commGroup() *Group {
+	if f.group == nil {
+		members := make([]Addr, len(f.world))
+		for i, id := range f.world {
+			members[i] = Addr{Proc: id, Thread: f.t.idx}
+		}
+		f.group = f.t.proc.NewGroup(members, f.gcfg)
+	}
+	return f.group
 }
 
 // Rank returns this process's rank in the communicator.
@@ -72,23 +97,15 @@ func (f *MPIFilter) Sendrecv(sendBuf []byte, dest, sendTag, source, recvTag int)
 	return f.Recv(source, recvTag)
 }
 
-// Bcast is MPI_Bcast over the communicator: root sends, others receive.
-// It returns the broadcast payload on every rank.
+// Bcast is MPI_Bcast over the communicator: the payload travels down the
+// communicator's q-nomial tree (O(log N) critical path instead of the old
+// root-serialized loop) and is returned on every rank.
 func (f *MPIFilter) Bcast(buf []byte, root int) []byte {
-	const bcastTag = 1<<30 - 1 // reserved high tag for collectives
-	if f.Rank() == root {
-		for r := range f.world {
-			if r != root {
-				f.Send(buf, r, bcastTag)
-			}
-		}
-		return buf
-	}
-	data, _ := f.Recv(root, bcastTag)
-	return data
+	return f.commGroup().Bcast(f.t, root, buf)
 }
 
-// Barrier is MPI_Barrier over the communicator.
+// Barrier is MPI_Barrier over the communicator, as a dissemination barrier
+// (no root; ceil(log2 N) rounds) on the communicator's group.
 func (f *MPIFilter) Barrier() {
-	f.t.Barrier(f.world)
+	f.commGroup().Barrier(f.t)
 }

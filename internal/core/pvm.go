@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -22,10 +23,65 @@ import (
 type PVMFilter struct {
 	t    *Thread
 	send *PVMBuffer
+	// groups caches collective communicators by task list, so repeated
+	// Barrier/Bcast calls over the same tids reuse one tree topology.
+	groups map[string]*Group
 }
 
 // PVM returns the PVM-style view of an NCS thread.
 func PVM(t *Thread) *PVMFilter { return &PVMFilter{t: t} }
+
+// groupFor returns (building and caching on first use) the collective
+// Group for an ordered task list, under the filter's same-index thread
+// convention.
+func (f *PVMFilter) groupFor(tids []ProcID) *Group {
+	key := fmt.Sprint(tids)
+	if g, ok := f.groups[key]; ok {
+		return g
+	}
+	members := make([]Addr, len(tids))
+	for i, tid := range tids {
+		members[i] = Addr{Proc: tid, Thread: f.t.idx}
+	}
+	g := f.t.proc.NewGroup(members, GroupConfig{})
+	if f.groups == nil {
+		f.groups = make(map[string]*Group)
+	}
+	f.groups[key] = g
+	return g
+}
+
+// Barrier blocks until every task in tids has entered it: pvm_barrier with
+// an explicit member list, run as a dissemination barrier over the task
+// group. All listed tasks must call it with the same list.
+func (f *PVMFilter) Barrier(tids []ProcID) {
+	f.groupFor(tids).Barrier(f.t)
+}
+
+// Bcast transmits the current send buffer from root to every task in tids
+// down the binomial tree: pvm_bcast with an explicit member list. All
+// listed tasks must call it with the same list and root; every call
+// returns the broadcast unpack buffer (the root's own packed data).
+func (f *PVMFilter) Bcast(tids []ProcID, root ProcID) *PVMBuffer {
+	g := f.groupFor(tids)
+	rootIdx := -1
+	for i, tid := range tids {
+		if tid == root {
+			rootIdx = i
+		}
+	}
+	if rootIdx < 0 {
+		panic("core: pvm Bcast root not in tids")
+	}
+	var data []byte
+	if f.t.proc.cfg.ID == root {
+		if f.send == nil {
+			panic("core: pvm Bcast without InitSend")
+		}
+		data = f.send.data
+	}
+	return &PVMBuffer{data: g.Bcast(f.t, rootIdx, data)}
+}
 
 // Section type codes in the buffer encoding.
 const (

@@ -90,7 +90,10 @@ func (s *SelectiveRepeat) admit(req *sendReq) bool {
 	}
 	req.m.ESeq = s.nextSeq
 	s.nextSeq++
+	// Private copy, payload included — the caller may reuse its buffer
+	// once the first transmission is serialized (see GoBackN.admit).
 	cp := *req.m
+	cp.Data = append([]byte(nil), req.m.Data...)
 	pending := &srPending{m: &cp}
 	s.inflight[cp.ESeq] = pending
 	s.armTimer(cp.ESeq)

@@ -48,13 +48,25 @@ type Segment struct {
 // Duration returns the segment length.
 func (s Segment) Duration() vclock.Duration { return s.To.Sub(s.From) }
 
+// Mark is a labelled instant on a timeline: an annotation rather than a
+// state change. The collective layer uses marks to stamp protocol
+// structure — round index, subtree size — onto its lanes, so a rendered
+// timeline shows not just *that* a lane was communicating but which phase
+// of the algorithm it was in.
+type Mark struct {
+	At    vclock.Time
+	Label string
+}
+
 // Timeline is one row: a thread's (or processor's) activity over time.
 type Timeline struct {
 	Name     string
 	Segments []Segment
-	cur      State
-	since    vclock.Time
-	open     bool
+	// Marks are labelled instants annotating the row, in record order.
+	Marks []Mark
+	cur   State
+	since vclock.Time
+	open  bool
 }
 
 // Recorder collects timelines against a clock.
@@ -91,6 +103,19 @@ func (r *Recorder) Set(name string, s State) {
 		tl.Segments = append(tl.Segments, Segment{From: tl.since, To: now, State: tl.cur})
 	}
 	tl.cur, tl.since = s, now
+}
+
+// Mark drops a labelled annotation on the named row at now, creating the
+// row (Idle) if it does not exist yet.
+func (r *Recorder) Mark(name, label string) {
+	now := r.clock.Now()
+	tl := r.rows[name]
+	if tl == nil {
+		tl = &Timeline{Name: name, cur: Idle, since: now, open: true}
+		r.rows[name] = tl
+		r.order = append(r.order, name)
+	}
+	tl.Marks = append(tl.Marks, Mark{At: now, Label: label})
 }
 
 // Close ends the named row's current segment at now.
@@ -225,6 +250,47 @@ func Render(rows []*Timeline, width int) string {
 	}
 	fmt.Fprintf(&b, "%*s  legend: #=compute ~=comm .=idle\n", nameW, "")
 	return b.String()
+}
+
+// PhaseSkew measures how unevenly a set of rows leave their i-th segment
+// in state s: for each phase index i present in *every* row, it reports
+// max(To) - min(To) across rows. With one collective lane per process and
+// one Comm segment per collective phase, this is the barrier-exit skew —
+// how long the fastest process waits for the slowest, phase by phase. Rows
+// must share a clock (one recorder, or recorders built on the same Clock).
+func PhaseSkew(rows []*Timeline, s State) []vclock.Duration {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Per row, collect the ends of its segments in state s.
+	ends := make([][]vclock.Time, len(rows))
+	phases := -1
+	for i, tl := range rows {
+		for _, seg := range tl.Segments {
+			if seg.State == s {
+				ends[i] = append(ends[i], seg.To)
+			}
+		}
+		if phases < 0 || len(ends[i]) < phases {
+			phases = len(ends[i])
+		}
+	}
+	if phases <= 0 {
+		return nil
+	}
+	out := make([]vclock.Duration, phases)
+	for ph := 0; ph < phases; ph++ {
+		lo, hi := ends[0][ph], ends[0][ph]
+		for i := 1; i < len(ends); i++ {
+			if t := ends[i][ph]; t < lo {
+				lo = t
+			} else if t > hi {
+				hi = t
+			}
+		}
+		out[ph] = hi.Sub(lo)
+	}
+	return out
 }
 
 // Summary reports per-row totals in each state, as fractions of the row's

@@ -181,3 +181,60 @@ func TestReopenAfterClose(t *testing.T) {
 		t.Fatal("reopened segment starts at wrong time")
 	}
 }
+
+func TestMarksAnnotateRows(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	r.Set("g", Comm)
+	r.Mark("g", "bar r0 n2")
+	s.adv(time.Second)
+	r.Mark("g", "bar r1 n1")
+	r.Set("g", Idle)
+	r.Close("g")
+	tl := r.Timeline("g")
+	if len(tl.Marks) != 2 {
+		t.Fatalf("marks = %+v", tl.Marks)
+	}
+	if tl.Marks[0].Label != "bar r0 n2" || tl.Marks[0].At != 0 {
+		t.Fatalf("first mark = %+v", tl.Marks[0])
+	}
+	if tl.Marks[1].At != vclock.Time(time.Second) {
+		t.Fatalf("second mark = %+v", tl.Marks[1])
+	}
+	// Mark on a fresh row creates it.
+	r.Mark("new", "x")
+	if r.Timeline("new") == nil || len(r.Timeline("new").Marks) != 1 {
+		t.Fatal("Mark did not create the row")
+	}
+}
+
+func TestPhaseSkew(t *testing.T) {
+	s := newStepper()
+	r := NewRecorder(s.c)
+	// Two rows, two Comm phases each; the second row exits each phase
+	// later than the first by a known margin.
+	phase := func(name string, busy time.Duration) {
+		r.Set(name, Comm)
+		s.adv(busy)
+		r.Set(name, Idle)
+	}
+	phase("a", time.Second)           // a: phase 0 ends at 1s
+	phase("b", 1500*time.Millisecond) // b: phase 0 ends at 2.5s
+	phase("a", time.Second)           // a: phase 1 ends at 3.5s
+	phase("b", 4500*time.Millisecond) // b: phase 1 ends at 8s
+	r.CloseAll()
+	rows := []*Timeline{r.Timeline("a"), r.Timeline("b")}
+	skews := PhaseSkew(rows, Comm)
+	if len(skews) != 2 {
+		t.Fatalf("skews = %v", skews)
+	}
+	if skews[0] != 1500*time.Millisecond {
+		t.Fatalf("phase 0 skew = %v, want 1.5s", skews[0])
+	}
+	if skews[1] != 4500*time.Millisecond {
+		t.Fatalf("phase 1 skew = %v, want 4.5s", skews[1])
+	}
+	if PhaseSkew(nil, Comm) != nil {
+		t.Fatal("empty rows should yield nil")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ProcID identifies a process (one per simulated/emulated workstation).
@@ -249,36 +250,49 @@ func Unmarshal(b []byte) (*Message, error) {
 	return m, nil
 }
 
+// msgPool recycles decoded Message structs on the pooled delivery path:
+// UnmarshalPooled draws from it and Release returns to it, so a steady
+// RecvInto loop allocates neither the frame buffer nor the Message header
+// struct. Messages whose payload the application keeps (plain Recv) are
+// simply never Released and fall to the garbage collector with their data.
+var msgPool = sync.Pool{New: func() any { return &Message{} }}
+
 // UnmarshalPooled decodes a wire message that takes ownership of the
 // *pooled* buffer backing it: Data aliases the buffer past the header with
-// no copy, and Release hands the buffer back to the pool once the payload
-// has been consumed. This is the recycling delivery path for carriers that
-// stage each arriving message in its own GetBuf buffer (the in-process Mem
-// mesh, the real-TCP reader, the UDP/ATM reassembly tail): a consumer that
-// copies the payload out — RecvInto, control handlers — closes the loop,
-// so steady-state receive traffic stops allocating frame buffers at all.
+// no copy, and Release hands the buffer — and the Message struct itself —
+// back to their pools once the payload has been consumed. This is the
+// recycling delivery path for carriers that stage each arriving message in
+// its own GetBuf buffer (the in-process Mem mesh, the real-TCP reader, the
+// UDP/ATM reassembly tail): a consumer that copies the payload out —
+// RecvInto, control handlers — closes the loop, so steady-state receive
+// traffic stops allocating at all.
 func UnmarshalPooled(fb *Buf) (*Message, error) {
-	m, err := UnmarshalOwned(fb.B)
-	if err != nil {
+	if err := checkWire(fb.B); err != nil {
 		return nil, err
+	}
+	m := msgPool.Get().(*Message)
+	off := decodeHeader(m, fb.B)
+	if len(fb.B) > off {
+		m.Data = fb.B[off:]
 	}
 	m.pooled = fb
 	return m, nil
 }
 
-// Release recycles the message's pooled backing buffer, if any; Data is
-// invalid afterwards. Only the consumer that owns the message may call it,
-// and only once the payload has been copied out or will never be read
-// (a control frame, a suppressed duplicate). Messages without a pooled
-// buffer ignore it, so the call is safe on every owning path.
+// Release recycles the message's pooled backing buffer and struct, if
+// pooled; the message and its Data are invalid afterwards. Only the
+// consumer that owns the message may call it, and only once the payload
+// has been copied out or will never be read (a control frame, a
+// suppressed duplicate). Messages without a pooled buffer ignore it, so
+// the call is safe on every owning path.
 func (m *Message) Release() {
 	if m.pooled == nil {
 		return
 	}
 	fb := m.pooled
-	m.pooled = nil
-	m.Data = nil
+	*m = Message{}
 	PutBuf(fb)
+	msgPool.Put(m)
 }
 
 // UnmarshalOwned decodes a wire message whose buffer ownership transfers to
