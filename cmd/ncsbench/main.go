@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,7 +33,22 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (all, table1, table2, table3, fig2, fig3, fig4, fig16, atmapi, wan)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (lane mu hot spots)")
+	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file (ring sleeps, scheduler waits)")
 	flag.Parse()
+
+	// Contention profiling for the sharded hot path: the lane engines
+	// synchronize on per-lane mutexes and MPSC ring wakeups, so when a
+	// lane count or GOMAXPROCS change shifts throughput, these two
+	// profiles say whether lock contention or blocking hand-offs moved.
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(int(100 * time.Microsecond))
+		defer writeProfile("block", *blockProfile)
+	}
 
 	runners := map[string]func(){
 		"table1":   table1,
@@ -61,6 +78,20 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// writeProfile dumps one named pprof profile, complaining to stderr rather
+// than failing the run — the experiment output already printed.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ncsbench: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "ncsbench: %s profile: %v\n", name, err)
+	}
 }
 
 func table1() {

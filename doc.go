@@ -25,6 +25,19 @@
 // paper's receive-into-buffer call — recycles pooled receive frames so
 // steady-state traffic allocates nothing.
 //
+// Threading model: the paper's one-send-one-receive system-thread pair
+// per process is the lanes=1 configuration, still the default on a
+// single-core host. On multicore (or with Config.SendLanes/RecvLanes),
+// the pair shards into min(GOMAXPROCS, 4) lane engines; every channel is
+// pinned to one lane for life (peer-hash by default, ChannelConfig.Lane
+// to choose), so FIFO within a channel, strict priority among channels
+// sharing a lane, and single-owner discipline state all survive the
+// sharding. Application sends complete inline; arrivals flow through a
+// per-lane MPSC ring (internal/ring) into the engine goroutine, which
+// runs the flow/error tiers and posts wakeups back to the cooperative
+// scheduler. Lane=1 passes the full test suite unchanged, and the suite
+// itself runs both models in CI (-cpu=1,4 under the race detector).
+//
 // Group communication is tree-structured and channel-aware: core.Group
 // (Proc.NewGroup) precomputes a q-nomial tree and dissemination-barrier
 // schedule over an agreed member list and pins every collective —
@@ -40,7 +53,8 @@
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation via `go test -bench`, plus a per-channel
 // throughput benchmark that emits BENCH_channels.json, an N-procs ×
-// K-channels mesh benchmark that emits BENCH_scale.json, a tree-vs-linear
+// K-channels mesh benchmark swept across GOMAXPROCS and lane modes that
+// emits BENCH_scale.json, a tree-vs-linear
 // collective benchmark that emits BENCH_collectives.json (wall clock on
 // Mem plus modeled time on the calibrated NYNET simulation), and a
 // many-to-one incast benchmark that emits BENCH_incast.json.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/list"
@@ -65,6 +66,12 @@ type ChannelConfig struct {
 	// NoErrorControl). Instances hold per-channel state and must not be
 	// shared.
 	Error ErrorControl
+	// Lane pins the channel to a specific send/recv lane in the sharded
+	// configuration: 1-based (wrapped into the lane count), 0 selects the
+	// default placement — a hash of the peer. Channels sharing a lane
+	// serialize against each other; channels on different lanes run
+	// concurrently. Ignored in the classic single-lane configuration.
+	Lane int
 }
 
 // chanKey indexes a Proc's channel table.
@@ -84,6 +91,12 @@ type Channel struct {
 	errc     ErrorControl
 	closed   bool
 
+	// ln is the lane the channel is pinned to for life in the sharded
+	// configuration (nil classically). All mutable channel state below —
+	// discipline state, piggyback words, the closed flag — is guarded by
+	// ln.mu when ln is set, and by the scheduler domain otherwise.
+	ln *lane
+
 	// Pending reverse-direction control: the receiver role's credit
 	// advertisement and error-control acks wait here for a data frame
 	// toward the peer to piggyback on (attachPiggy) or for the flush
@@ -99,10 +112,12 @@ type Channel struct {
 	// lane names the channel's trace timeline (empty without a Tracer).
 	lane string
 
-	sent, received           int64
-	bytesSent, bytesReceived int64
-	ctrlPiggy                int64 // control words that rode data frames
-	ctrlStandalone           int64 // standalone control frames sent
+	// Counters are atomic so Stats() can be read while lane engines (or,
+	// classically, the system threads) are still updating them.
+	sent, received           atomic.Int64
+	bytesSent, bytesReceived atomic.Int64
+	ctrlPiggy                atomic.Int64 // control words that rode data frames
+	ctrlStandalone           atomic.Int64 // standalone control frames sent
 }
 
 // ChannelStats is a channel's traffic snapshot.
@@ -136,9 +151,6 @@ func (p *Proc) Open(peer ProcID, cfg ChannelConfig) *Channel {
 		panic(fmt.Sprintf("core: channel priority must be 0..%d", NumChannelPriorities-1))
 	}
 	key := chanKey{peer: peer, id: cfg.ID}
-	if _, dup := p.channels[key]; dup {
-		panic(fmt.Sprintf("core(proc %d): channel %d to proc %d already open", p.cfg.ID, cfg.ID, peer))
-	}
 	fc := cfg.Flow
 	if fc == nil {
 		fc = NoFlowControl{}
@@ -147,13 +159,16 @@ func (p *Proc) Open(peer ProcID, cfg ChannelConfig) *Channel {
 	if ec == nil {
 		ec = NoErrorControl{}
 	}
-	return p.addChannel(key, cfg.Priority, fc, ec)
+	return p.addChannel(key, cfg.Priority, cfg.Lane, fc, ec)
 }
 
 // DefaultChannel returns the implicit channel 0 toward peer, creating it on
 // first use from the process-wide Config.Flow/Config.Error templates.
 func (p *Proc) DefaultChannel(peer ProcID) *Channel {
-	if c, ok := p.channels[chanKey{peer: peer}]; ok {
+	p.chanMu.RLock()
+	c, ok := p.channels[chanKey{peer: peer}]
+	p.chanMu.RUnlock()
+	if ok {
 		return c
 	}
 	fc := p.cfg.Flow
@@ -164,24 +179,54 @@ func (p *Proc) DefaultChannel(peer ProcID) *Channel {
 	if ec == nil {
 		ec = NoErrorControl{}
 	}
-	return p.addChannel(chanKey{peer: peer}, 0, fc.fork(), ec.fork())
+	return p.addChannel(chanKey{peer: peer}, 0, 0, fc.fork(), ec.fork())
 }
 
-func (p *Proc) addChannel(key chanKey, prio int, fc FlowControl, ec ErrorControl) *Channel {
+// addChannel builds a channel and publishes it. The channel is fully
+// initialized — lane pinned, disciplines init'd — *before* it enters the
+// table: in sharded mode a foreign goroutine (routeFrame) may resolve it
+// the instant it is visible. Two goroutines may race to create the same
+// default channel; the loser's channel is discarded and the winner's
+// returned. Explicit duplicate Opens still panic.
+func (p *Proc) addChannel(key chanKey, prio, laneHint int, fc FlowControl, ec ErrorControl) *Channel {
 	c := &Channel{p: p, peer: key.peer, id: key.id, priority: prio, flow: fc, errc: ec}
-	c.flushFn = c.flushFire
+	if p.sharded() {
+		c.ln = p.lanes[p.laneIndex(key.peer, laneHint)]
+	}
+	c.flushFn = c.wrapTimer(c.flushFire)
 	if p.cfg.Tracer != nil {
 		c.lane = fmt.Sprintf("%s/ch%d>%d", p.cfg.TraceName, key.id, key.peer)
 	}
-	p.channels[key] = c
 	fc.init(c)
 	ec.init(c)
-	if p.closing {
+	p.chanMu.Lock()
+	if exist, dup := p.channels[key]; dup {
+		p.chanMu.Unlock()
+		if key.id == 0 {
+			return exist
+		}
+		panic(fmt.Sprintf("core(proc %d): channel %d to proc %d already open", p.cfg.ID, key.id, key.peer))
+	}
+	p.channels[key] = c
+	p.chanMu.Unlock()
+	if p.closing.Load() {
 		// Opened after the user threads finished (unusual, but legal from
 		// an exception handler): give the disciplines their shutdown signal
 		// immediately so the process can still terminate.
-		fc.shutdown()
-		ec.shutdown()
+		if ln := c.ln; ln != nil {
+			ln.mu.Lock()
+			fc.shutdown()
+			ec.shutdown()
+			ln.serviceLocked()
+			post := ln.queueDrainLocked()
+			ln.mu.Unlock()
+			if post {
+				p.cfg.RT.PostAsync(ln.drainFn)
+			}
+		} else {
+			fc.shutdown()
+			ec.shutdown()
+		}
 	}
 	return c
 }
@@ -191,7 +236,10 @@ func (p *Proc) addChannel(key chanKey, prio int, fc FlowControl, ec ErrorControl
 // unannounced on it — while a nonzero channel must have been opened
 // explicitly: ok is false for one nobody opened.
 func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
-	if c, ok := p.channels[chanKey{peer: peer, id: id}]; ok {
+	p.chanMu.RLock()
+	c, ok := p.channels[chanKey{peer: peer, id: id}]
+	p.chanMu.RUnlock()
+	if ok {
 		return c, true
 	}
 	if id == 0 {
@@ -217,6 +265,22 @@ func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
 // closed channel sees its error-control tier retry and eventually give
 // up, exactly as against a dead process.
 func (c *Channel) Close() {
+	if ln := c.ln; ln != nil {
+		ln.mu.Lock()
+		if c.closed {
+			ln.mu.Unlock()
+			return
+		}
+		c.flushCtrl()
+		c.closed = true
+		c.flow.shutdown()
+		c.errc.shutdown()
+		ln.serviceLocked()
+		ln.mu.Unlock()
+		ln.runDrain()
+		c.p.checkShutdownWake()
+		return
+	}
 	if c.closed {
 		return
 	}
@@ -235,6 +299,24 @@ func (c *Channel) Close() {
 // Closed reports whether Close has been called on this end.
 func (c *Channel) Closed() bool { return c.closed }
 
+// laneLock / laneUnlock guard lane-domain discipline state for the public
+// introspection accessors (WindowFlow.Outstanding, GoBackN.Retransmissions,
+// ...): on a sharded channel that state mutates under the lane lock in the
+// engine goroutines, so a reader outside the lane must take it. Both are
+// no-ops on classic channels (scheduler-domain state, scheduler-domain
+// callers) and on a nil receiver (discipline not yet bound).
+func (c *Channel) laneLock() {
+	if c != nil && c.ln != nil {
+		c.ln.mu.Lock()
+	}
+}
+
+func (c *Channel) laneUnlock() {
+	if c != nil && c.ln != nil {
+		c.ln.mu.Unlock()
+	}
+}
+
 // ID returns the channel identifier (0 for the default channel).
 func (c *Channel) ID() ChannelID { return c.id }
 
@@ -250,12 +332,14 @@ func (c *Channel) Flow() FlowControl { return c.flow }
 // Error returns the channel's error-control discipline.
 func (c *Channel) Error() ErrorControl { return c.errc }
 
-// Stats returns the channel's traffic counters.
+// Stats returns the channel's traffic counters. Safe to call while traffic
+// is flowing (the counters are atomic); the snapshot is per-counter
+// consistent, not cross-counter.
 func (c *Channel) Stats() ChannelStats {
 	return ChannelStats{
-		Sent: c.sent, Received: c.received,
-		BytesSent: c.bytesSent, BytesReceived: c.bytesReceived,
-		CtrlPiggybacked: c.ctrlPiggy, CtrlStandalone: c.ctrlStandalone,
+		Sent: c.sent.Load(), Received: c.received.Load(),
+		BytesSent: c.bytesSent.Load(), BytesReceived: c.bytesReceived.Load(),
+		CtrlPiggybacked: c.ctrlPiggy.Load(), CtrlStandalone: c.ctrlStandalone.Load(),
 		Flow: c.flow.Name(), Error: c.errc.Name(),
 	}
 }
@@ -319,19 +403,108 @@ func (c *Channel) flushFire() {
 
 // flushCtrl sends whatever control is still pending as standalone frames:
 // one credit advertisement and one (possibly multi-word) ack frame. No-op
-// when a data frame already carried everything.
+// when a data frame already carried everything. In sharded mode the
+// caller holds the lane lock and is responsible for servicing the lane
+// afterwards (the frames are queued, not yet transmitted).
 func (c *Channel) flushCtrl() {
 	if c.pendCreditOn {
 		c.pendCreditOn = false
-		c.ctrlStandalone++
-		c.p.sendCtrl(c.peer, c.id, tagFlowAck, c.pendCredit, true)
+		c.ctrlStandalone.Add(1)
+		c.sendCtrl(tagFlowAck, c.pendCredit, true)
 		c.flow.creditSent(c.pendCredit)
 	}
 	if len(c.pendAcks) > 0 {
-		c.ctrlStandalone++
-		c.p.sendCtrlVec(c.peer, c.id, tagGBNAck, c.pendAcks)
+		c.ctrlStandalone.Add(1)
+		c.sendCtrlVec(tagGBNAck, c.pendAcks)
 		c.pendAcks = c.pendAcks[:0]
 	}
+}
+
+// sendCtrl queues one control frame on this channel's transmit path: the
+// owning lane's queue in sharded mode (the caller holds the lane lock and
+// services it afterwards), the proc-wide send queue classically.
+func (c *Channel) sendCtrl(tag int, payload uint32, withPayload bool) {
+	ln := c.ln
+	if ln == nil {
+		c.p.sendCtrl(c.peer, c.id, tag, payload, withPayload)
+		return
+	}
+	m := ln.getCtrlMsg()
+	m.From = c.p.cfg.ID
+	m.To = c.peer
+	m.Channel = c.id
+	m.Tag = tag
+	if withPayload {
+		m.Data = wire.AppendUint32(m.Data[:0], payload)
+	}
+	req := ln.getReq()
+	req.m = m
+	req.ctrl = true
+	ln.pending.push(ctrlLevel, req)
+}
+
+// sendCtrlVec is sendCtrl with a multi-word payload (ack bursts).
+func (c *Channel) sendCtrlVec(tag int, words []uint32) {
+	ln := c.ln
+	if ln == nil {
+		c.p.sendCtrlVec(c.peer, c.id, tag, words)
+		return
+	}
+	m := ln.getCtrlMsg()
+	m.From = c.p.cfg.ID
+	m.To = c.peer
+	m.Channel = c.id
+	m.Tag = tag
+	for _, w := range words {
+		m.Data = wire.AppendUint32(m.Data, w)
+	}
+	req := ln.getReq()
+	req.m = m
+	req.ctrl = true
+	ln.pending.push(ctrlLevel, req)
+}
+
+// wrapTimer adapts a discipline timer callback to the channel's execution
+// domain. Classic channels run timers straight in the scheduler domain;
+// sharded ones enter the lane domain — take the lane lock, run the
+// callback, service whatever it queued (retransmissions, credit syncs),
+// then drain the scheduler-domain completions. Timer callbacks fire via
+// Config.After, which is always a scheduler-domain context, so the drain
+// is legal here.
+func (c *Channel) wrapTimer(fn func()) func() {
+	ln := c.ln
+	if ln == nil {
+		return fn
+	}
+	return func() {
+		ln.mu.Lock()
+		fn()
+		ln.serviceLocked()
+		ln.mu.Unlock()
+		ln.runDrain()
+	}
+}
+
+// raise reports a channel-context exception: immediately in classic mode,
+// deferred through the lane drain in sharded mode (callers hold the lane
+// lock, and exception handlers are user code that must not run under it).
+func (c *Channel) raise(err error) {
+	if c.ln != nil {
+		c.ln.errs = append(c.ln.errs, err)
+		return
+	}
+	c.p.exception(err)
+}
+
+// requeueRx re-queues in-order flushes from a buffering error-control
+// discipline (selective repeat) ahead of anything already waiting at the
+// channel's priority level, so release order equals sequence order.
+func (c *Channel) requeueRx(flushed []*transport.Message) {
+	if c.ln != nil {
+		c.ln.requeueRxLocked(c, flushed)
+		return
+	}
+	c.p.rxIn.prependLevel(c.priority, flushed)
 }
 
 // attachPiggy moves pending control onto a departing data frame: the
@@ -341,14 +514,14 @@ func (c *Channel) attachPiggy(m *transport.Message) {
 	if c.pendCreditOn {
 		m.Credit, m.HasCredit = c.pendCredit, true
 		c.pendCreditOn = false
-		c.ctrlPiggy++
+		c.ctrlPiggy.Add(1)
 		c.flow.creditSent(c.pendCredit)
 	}
 	if n := len(c.pendAcks); n > 0 {
 		m.Ack, m.HasAck = c.pendAcks[0], true
 		copy(c.pendAcks, c.pendAcks[1:])
 		c.pendAcks = c.pendAcks[:n-1]
-		c.ctrlPiggy++
+		c.ctrlPiggy.Add(1)
 	}
 }
 
@@ -366,6 +539,10 @@ func (c *Channel) SendTagged(t *Thread, tag, toThread int, data []byte) {
 	}
 	if t.proc != c.p {
 		panic("core: thread sending on another process's channel")
+	}
+	if c.ln != nil {
+		c.ln.send(c, t, tag, toThread, data)
+		return
 	}
 	m := c.p.getDataMsg()
 	m.From = c.p.cfg.ID
@@ -421,7 +598,7 @@ func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
 	p.enqueueSend(req)
 	t.mt.Park("ncs send")
 	p.traceThread(t, trace.Compute)
-	p.sent++
+	p.sent.Add(1)
 }
 
 // ---------------------------------------------------------------------------

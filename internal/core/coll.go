@@ -118,11 +118,13 @@ type Group struct {
 	inBarrier bool
 
 	// addrScratch and idxScratch are per-op scratch (member-thread only);
-	// packBuf is Gather's concatenation buffer. All retain capacity across
-	// calls so steady-state collectives allocate nothing beyond payloads.
+	// packBuf is Gather's concatenation buffer; laneScratch dedupes the
+	// lanes a sharded fan-out touched. All retain capacity across calls so
+	// steady-state collectives allocate nothing beyond payloads.
 	addrScratch []Addr
 	idxScratch  []int
 	packBuf     []byte
+	laneScratch []*lane
 
 	// lane is the group's trace timeline (empty without a Tracer): Comm
 	// while a collective holds the member thread, with per-round marks
@@ -176,7 +178,7 @@ func (p *Proc) NewGroup(members []Addr, cfg GroupConfig) *Group {
 		if cfg.Channel == 0 {
 			g.chans[i] = p.DefaultChannel(a.Proc)
 		} else {
-			c, ok := p.channels[chanKey{peer: a.Proc, id: cfg.Channel}]
+			c, ok := p.lookupChannel(a.Proc, cfg.Channel)
 			if !ok {
 				panic(fmt.Sprintf("core(proc %d): group channel %d not open to member proc %d", p.cfg.ID, cfg.Channel, a.Proc))
 			}
@@ -345,6 +347,10 @@ func (g *Group) fanSend(t *Thread, tag int, idxs []int, datas [][]byte, shared [
 		return
 	}
 	p := g.p
+	if p.sharded() {
+		g.fanSendSharded(t, tag, idxs, datas, shared)
+		return
+	}
 	p.traceThread(t, trace.Idle)
 	t.fanLeft = len(idxs)
 	for pos, ki := range idxs {
@@ -374,7 +380,70 @@ func (g *Group) fanSend(t *Thread, tag int, idxs []int, datas [][]byte, shared [
 		t.mt.Park("ncs send")
 	}
 	p.traceThread(t, trace.Compute)
-	p.sent += int64(len(idxs))
+	p.sent.Add(int64(len(idxs)))
+}
+
+// fanSendSharded is fanSend over per-lane engines: every copy is staged on
+// its channel's lane (under that lane's lock, from the lane freelists),
+// then each touched lane is serviced once — so a lane sees its whole share
+// of the fan as one burst and the carrier's batch path still fires. The
+// caller's counter-park loop is identical to the classic path: fanLeft is
+// scheduler-domain state, decremented by the drains this thread runs inline
+// (runDrain) or that post behind its park.
+func (g *Group) fanSendSharded(t *Thread, tag int, idxs []int, datas [][]byte, shared []byte) {
+	p := g.p
+	p.traceThread(t, trace.Idle)
+	t.fanLeft = len(idxs)
+	lanes := g.laneScratch[:0]
+	for pos, ki := range idxs {
+		c := g.chans[ki]
+		ln := c.ln
+		ln.mu.Lock()
+		if c.closed {
+			ln.mu.Unlock()
+			panic(fmt.Sprintf("core(proc %d): group send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
+		}
+		m := ln.getDataMsg()
+		m.From = p.cfg.ID
+		m.To = c.peer
+		m.FromThread = t.idx
+		m.ToThread = g.members[ki].Thread
+		m.Tag = tag
+		m.Channel = c.id
+		if datas != nil {
+			m.Data = datas[pos]
+		} else {
+			m.Data = shared
+		}
+		req := ln.getReq()
+		req.m = m
+		req.ch = c
+		req.fan = t
+		ln.pending.push(c.priority, req)
+		ln.mu.Unlock()
+		seen := false
+		for _, l := range lanes {
+			if l == ln {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			lanes = append(lanes, ln)
+		}
+	}
+	g.laneScratch = lanes
+	for _, ln := range lanes {
+		ln.mu.Lock()
+		ln.serviceLocked()
+		ln.mu.Unlock()
+		ln.runDrain()
+	}
+	for t.fanLeft > 0 {
+		t.mt.Park("ncs send")
+	}
+	p.traceThread(t, trace.Compute)
+	p.sent.Add(int64(len(idxs)))
 }
 
 // kidIdxs maps the tree children of rank rel (rooted at root) to member

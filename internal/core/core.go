@@ -35,6 +35,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mts"
@@ -109,6 +112,17 @@ type Config struct {
 	// "<TraceName>/t<idx>".
 	Tracer    *trace.Recorder
 	TraceName string
+	// SendLanes and RecvLanes select the sharded multi-core hot path (see
+	// lane.go): 0 defaults to min(GOMAXPROCS, 4), and the larger of the two
+	// resolved values becomes the lane count (each lane is a combined
+	// send/recv engine). A resolved count of 1 — always the case on a
+	// single-core GOMAXPROCS — keeps the paper's classic two-system-thread
+	// path exactly. Sharding also requires a transport.FrameCarrier
+	// endpoint and engages only in real mode (no RecvCharge,
+	// ArrivalPollDelay, or custom After hook — the simulation harnesses'
+	// virtual-time machinery is scheduler-domain by construction).
+	SendLanes int
+	RecvLanes int
 }
 
 // sendReq is one queued transfer for the send system thread.
@@ -134,6 +148,11 @@ type sendReq struct {
 	// flushed (or failed), since the shared payload must stay stable until
 	// the last copy is serialized.
 	fan *Thread
+	// done, when non-nil, is the sharded inline-send completion flag
+	// (Thread.sendDone): the sender is still inside lane.send holding the
+	// lane lock, so completion just sets the flag instead of waking anyone.
+	// Mutually exclusive with caller (see lane.send).
+	done *bool
 }
 
 // recvWaiter is a thread parked in Recv.
@@ -193,13 +212,25 @@ type Proc struct {
 
 	// channels holds every open channel, keyed by (peer, channel ID).
 	// Default channels (ID 0) are created lazily from the Config
-	// templates; explicit channels come from Open.
+	// templates; explicit channels come from Open. chanMu guards the map
+	// in both modes (in sharded mode foreign goroutines resolve channels
+	// in routeFrame); channel *state* is guarded by the owning lane's
+	// mutex in sharded mode and by the scheduler domain classically.
+	chanMu   sync.RWMutex
 	channels map[chanKey]*Channel
 
 	threads  []*Thread
 	userLive int
-	closing  bool
+	closing  atomic.Bool
 	started  bool
+
+	// Sharded hot path (lane.go); empty in the classic configuration.
+	lanes      []*lane
+	laneThread *mts.Thread
+	laneStop   chan struct{}
+	laneWG     sync.WaitGroup
+	laneBS     transport.BatchSender
+	shutdownFn func()
 
 	// bars holds root-collected barrier state machines keyed by group
 	// membership hash (see barrier.go); groupSeq numbers Groups for their
@@ -209,8 +240,10 @@ type Proc struct {
 
 	onException func(error)
 
-	// Stats.
-	sent, received int64
+	// Stats. Atomic: in sharded mode the stats-reading side (tests,
+	// benchmarks) races lane engines updating channel counters, and these
+	// proc-wide totals are read the same way.
+	sent, received atomic.Int64
 }
 
 // New builds an NCS process: the paper's NCS_init. System threads (send,
@@ -223,6 +256,7 @@ func New(cfg Config) *Proc {
 	if cfg.Compute == nil {
 		cfg.Compute = work.Real()
 	}
+	customAfter := cfg.After != nil
 	if cfg.After == nil {
 		cfg.After = cfg.RT.After
 	}
@@ -236,10 +270,39 @@ func New(cfg Config) *Proc {
 		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
 	}
 
+	// Sharded mode engages only when it can be transparent: more than one
+	// resolved lane, a frame-capable carrier, and none of the hooks that
+	// assume all protocol work happens in the scheduler domain (the
+	// simulation harnesses' virtual time, receive charging, arrival polls).
+	lanes := resolveLanes(cfg.SendLanes)
+	if r := resolveLanes(cfg.RecvLanes); r > lanes {
+		lanes = r
+	}
+	fc, frames := cfg.Endpoint.(transport.FrameCarrier)
+	if lanes > 1 && frames && cfg.RecvCharge == nil && cfg.ArrivalPollDelay == nil && !customAfter {
+		p.initLanes(lanes, fc)
+		return p
+	}
+
 	cfg.Endpoint.SetHandler(p.deliver)
 	p.sendThread = cfg.RT.Create(fmt.Sprintf("ncs%d-send", cfg.ID), mts.PrioSystem, p.sendLoop)
 	p.recvThread = cfg.RT.Create(fmt.Sprintf("ncs%d-recv", cfg.ID), mts.PrioSystem, p.recvLoop)
 	return p
+}
+
+// resolveLanes maps a Config lane count to an effective one: 0 defaults to
+// min(GOMAXPROCS, 4), anything else clamps to at least 1.
+func resolveLanes(n int) int {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 4 {
+			n = 4
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ID returns the process identity.
@@ -249,10 +312,10 @@ func (p *Proc) ID() ProcID { return p.cfg.ID }
 func (p *Proc) RT() *mts.Runtime { return p.cfg.RT }
 
 // Sent returns the number of user messages sent.
-func (p *Proc) Sent() int64 { return p.sent }
+func (p *Proc) Sent() int64 { return p.sent.Load() }
 
 // Received returns the number of user messages consumed.
-func (p *Proc) Received() int64 { return p.received }
+func (p *Proc) Received() int64 { return p.received.Load() }
 
 // OnException installs the process's exception handler (paper §3.1,
 // "Exception Handling"). The default panics.
@@ -272,6 +335,10 @@ type Thread struct {
 	// fanLeft counts this thread's in-flight fan-out requests (coll.go's
 	// fanSend); the thread parks until the send loop retires the last one.
 	fanLeft int
+	// sendDone is the sharded inline-send completion flag (lane.send): a
+	// thread has at most one outstanding send, so one reusable field
+	// avoids a per-send heap escape. Written only under the lane lock.
+	sendDone bool
 }
 
 // Idx returns the thread's NCS index within its process (the paper's
@@ -318,7 +385,27 @@ func (p *Proc) userDone() {
 	if p.userLive > 0 {
 		return
 	}
-	p.closing = true
+	p.closing.Store(true)
+	if p.sharded() {
+		p.chanMu.RLock()
+		chans := make([]*Channel, 0, len(p.channels))
+		for _, c := range p.channels {
+			chans = append(chans, c)
+		}
+		p.chanMu.RUnlock()
+		for _, c := range chans {
+			ln := c.ln
+			ln.mu.Lock()
+			c.flushCtrl()
+			c.flow.shutdown()
+			c.errc.shutdown()
+			ln.serviceLocked()
+			ln.mu.Unlock()
+			ln.runDrain()
+		}
+		p.wakeIfIdle(p.laneThread, "lanes idle")
+		return
+	}
 	for _, c := range p.channels {
 		// Control still waiting for a piggyback ride must leave before
 		// the system threads may exit: the peer's sender role may be
@@ -345,7 +432,7 @@ func (p *Proc) wakeIfIdle(t *mts.Thread, idleReason string) {
 // are done and no channel's error control has anything awaiting
 // acknowledgement.
 func (p *Proc) mayShutdown() bool {
-	if !p.closing {
+	if !p.closing.Load() {
 		return false
 	}
 	for _, c := range p.channels {
@@ -360,6 +447,15 @@ func (p *Proc) mayShutdown() bool {
 // in-flight acknowledgement lands (or is abandoned) after the user threads
 // have already finished.
 func (p *Proc) checkShutdownWake() {
+	if p.sharded() {
+		// May run under a lane lock (an engine processing the last ack);
+		// the shutdown predicate itself takes lane locks, so evaluate it
+		// from the scheduler domain instead.
+		if p.closing.Load() {
+			p.cfg.RT.PostAsync(p.shutdownFn)
+		}
+		return
+	}
 	if !p.mayShutdown() {
 		return
 	}
@@ -405,6 +501,10 @@ func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
 	}
 	p := t.proc
 	c := p.DefaultChannel(toProc)
+	if c.ln != nil {
+		c.ln.send(c, t, tag, toThread, data)
+		return
+	}
 	m := p.getDataMsg()
 	m.From = p.cfg.ID
 	m.To = toProc
@@ -460,6 +560,15 @@ func (p *Proc) failGated(c *Channel, reqs []*sendReq, gate string) {
 	if len(reqs) == 0 {
 		return
 	}
+	if c.ln != nil {
+		// Lane domain: recycle under the held lane lock, defer wakeups and
+		// the exception to the drain.
+		for _, req := range reqs {
+			c.ln.failSendLocked(req)
+		}
+		c.ln.errs = append(c.ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
+		return
+	}
 	for _, req := range reqs {
 		p.failSend(req)
 	}
@@ -483,6 +592,14 @@ func (p *Proc) enqueueSend(req *sendReq) {
 	level := ctrlLevel
 	if req.m.Tag >= 0 && req.ch != nil {
 		level = req.ch.priority
+	}
+	if req.ch != nil && req.ch.ln != nil {
+		// Sharded: the caller (a discipline releasing a deferred request,
+		// a retransmission timer) already holds the channel's lane lock;
+		// the request joins the lane's queue and is serviced by whoever
+		// completes the current lane entry (see lane.go).
+		req.ch.ln.pending.push(level, req)
+		return
 	}
 	p.sendQ.push(level, req)
 	p.wakeIfIdle(p.sendThread, "send idle")
@@ -516,6 +633,28 @@ func (p *Proc) sendCtrl(to ProcID, ch ChannelID, tag int, payload uint32, withPa
 // flush path's framing for selective-repeat ack bursts. Consumers iterate
 // the words with forEachCtrlWord.
 func (p *Proc) sendCtrlVec(to ProcID, ch ChannelID, tag int, words []uint32) {
+	if p.sharded() {
+		// Scheduler-domain control toward a peer (barrier arrivals and
+		// releases): route through the peer's default-channel lane.
+		ln := p.DefaultChannel(to).ln
+		ln.mu.Lock()
+		m := ln.getCtrlMsg()
+		m.From = p.cfg.ID
+		m.To = to
+		m.Channel = ch
+		m.Tag = tag
+		for _, w := range words {
+			m.Data = wire.AppendUint32(m.Data, w)
+		}
+		req := ln.getReq()
+		req.m = m
+		req.ctrl = true
+		ln.pending.push(ctrlLevel, req)
+		ln.serviceLocked()
+		ln.mu.Unlock()
+		ln.runDrain()
+		return
+	}
 	m := p.getCtrlMsg()
 	m.From = p.cfg.ID
 	m.To = to
@@ -669,8 +808,8 @@ func (p *Proc) flushRun(st *mts.Thread, bs transport.BatchSender, run []*sendReq
 	}
 	for i, req := range run {
 		if req.ch != nil && !req.raw {
-			req.ch.sent++
-			req.ch.bytesSent += int64(len(req.m.Data))
+			req.ch.sent.Add(1)
+			req.ch.bytesSent.Add(int64(len(req.m.Data)))
 		}
 		p.traceChan(req.ch, trace.Idle)
 		if req.caller != nil {
@@ -765,7 +904,7 @@ func (t *Thread) tryRecvOn(ch ChannelID, fromThread int, fromProc ProcID) (data 
 	m := p.store[i]
 	p.store = append(p.store[:i], p.store[i+1:]...)
 	p.consume(t.mt, m)
-	p.received++
+	p.received.Add(1)
 	return m.Data, Addr{Proc: m.From, Thread: m.FromThread}, true
 }
 
@@ -821,7 +960,10 @@ func (p *Proc) rxLevel(m *transport.Message) int {
 	if m.Tag < 0 {
 		return ctrlLevel
 	}
-	if c, ok := p.channels[chanKey{peer: m.From, id: m.Channel}]; ok {
+	p.chanMu.RLock()
+	c, ok := p.channels[chanKey{peer: m.From, id: m.Channel}]
+	p.chanMu.RUnlock()
+	if ok {
 		return c.priority
 	}
 	return 0
@@ -898,8 +1040,8 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 		if !c.errc.onData(m) {
 			continue
 		}
-		c.received++
-		c.bytesReceived += int64(len(m.Data))
+		c.received.Add(1)
+		c.bytesReceived.Add(int64(len(m.Data)))
 		// Flow control acknowledges the delivery (credit return).
 		c.flow.onDelivered(m)
 		p.dispatchData(rt, m)

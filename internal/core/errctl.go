@@ -92,6 +92,10 @@ type GoBackN struct {
 	// Receiver side.
 	expected uint32
 
+	// fireFn is the pre-bound (and, on sharded channels, lane-wrapped)
+	// timer callback, so each re-arm schedules without a fresh closure.
+	fireFn func()
+
 	retrans   int64
 	abandoned int64
 }
@@ -115,10 +119,18 @@ func (g *GoBackN) fork() ErrorControl {
 
 // Retransmissions returns how many copies were re-sent; for tests and
 // experiment reporting.
-func (g *GoBackN) Retransmissions() int64 { return g.retrans }
+func (g *GoBackN) Retransmissions() int64 {
+	g.ch.laneLock()
+	defer g.ch.laneUnlock()
+	return g.retrans
+}
 
 // Abandoned returns how many messages were given up on (dead peer).
-func (g *GoBackN) Abandoned() int64 { return g.abandoned }
+func (g *GoBackN) Abandoned() int64 {
+	g.ch.laneLock()
+	defer g.ch.laneUnlock()
+	return g.abandoned
+}
 
 func (g *GoBackN) init(c *Channel) {
 	if g.ch != nil {
@@ -129,6 +141,7 @@ func (g *GoBackN) init(c *Channel) {
 	g.nextSeq = 1
 	g.base = 1
 	g.expected = 1
+	g.fireFn = c.wrapTimer(g.timerFire)
 }
 
 func (g *GoBackN) admit(req *sendReq) bool {
@@ -157,7 +170,7 @@ func (g *GoBackN) armTimer() {
 		return
 	}
 	g.timerOn = true
-	g.p.cfg.After(g.Timeout, g.timerFire)
+	g.p.cfg.After(g.Timeout, g.fireFn)
 }
 
 func (g *GoBackN) timerFire() {
@@ -175,7 +188,7 @@ func (g *GoBackN) timerFire() {
 		g.base = g.nextSeq
 		g.unacked = nil
 		g.releaseDeferred()
-		g.p.exception(fmt.Errorf("go-back-N: gave up on %d messages to proc %d (channel %d)", gaveUp, g.ch.peer, g.ch.id))
+		g.ch.raise(fmt.Errorf("go-back-N: gave up on %d messages to proc %d (channel %d)", gaveUp, g.ch.peer, g.ch.id))
 		g.p.checkShutdownWake()
 		return
 	}

@@ -98,7 +98,7 @@ func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *
 		m := p.store[i]
 		p.store = append(p.store[:i], p.store[i+1:]...)
 		p.consume(t.mt, m)
-		p.received++
+		p.received.Add(1)
 		return m
 	}
 	w := p.getWaiter()
@@ -111,7 +111,7 @@ func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *
 	p.traceThread(t, trace.Idle)
 	t.mt.Park("ncs recv")
 	p.traceThread(t, trace.Compute)
-	p.received++
+	p.received.Add(1)
 	got := w.got
 	p.putWaiter(w)
 	return got
@@ -136,7 +136,7 @@ func (t *Thread) recvAnyOf(ch ChannelID, tag int, set []Addr) (*transport.Messag
 		if j := addrIndex(set, m); j >= 0 {
 			p.store = append(p.store[:i], p.store[i+1:]...)
 			p.consume(t.mt, m)
-			p.received++
+			p.received.Add(1)
 			return m, j
 		}
 	}
@@ -149,7 +149,7 @@ func (t *Thread) recvAnyOf(ch ChannelID, tag int, set []Addr) (*transport.Messag
 	p.traceThread(t, trace.Idle)
 	t.mt.Park("ncs recv")
 	p.traceThread(t, trace.Compute)
-	p.received++
+	p.received.Add(1)
 	got := w.got
 	p.putWaiter(w)
 	return got, addrIndex(set, got)

@@ -181,8 +181,9 @@ func (w *WindowFlow) init(c *Channel) {
 	if w.advertEvery < 1 {
 		w.advertEvery = 1
 	}
-	// Pre-bound so each re-arm schedules without a fresh closure.
-	w.syncFn = w.syncFire
+	// Pre-bound so each re-arm schedules without a fresh closure; wrapped
+	// so sharded channels run it in their lane's lock domain.
+	w.syncFn = c.wrapTimer(w.syncFire)
 }
 
 func (w *WindowFlow) admit(req *sendReq) bool {
@@ -298,15 +299,27 @@ func (w *WindowFlow) shutdown() {
 // tests use it to verify the window invariant. It can exceed zero
 // transiently under credit loss, but never exceeds Window, and converges
 // back as cumulative advertisements land.
-func (w *WindowFlow) Outstanding() int { return w.outstanding() }
+func (w *WindowFlow) Outstanding() int {
+	w.c.laneLock()
+	defer w.c.laneUnlock()
+	return w.outstanding()
+}
 
 // Syncs returns how many periodic window-sync re-advertisements this end
 // has sent; for tests and experiment reporting.
-func (w *WindowFlow) Syncs() int64 { return w.syncs }
+func (w *WindowFlow) Syncs() int64 {
+	w.c.laneLock()
+	defer w.c.laneUnlock()
+	return w.syncs
+}
 
 // StaleCredits returns how many stale or duplicate credit advertisements
 // were ignored; for tests and experiment reporting.
-func (w *WindowFlow) StaleCredits() int64 { return w.stale }
+func (w *WindowFlow) StaleCredits() int64 {
+	w.c.laneLock()
+	defer w.c.laneUnlock()
+	return w.stale
+}
 
 // RateFlow is token-bucket pacing: data leaves at no more than Rate bytes
 // per second with bursts up to Bucket bytes. This is the QOS discipline a
@@ -350,7 +363,7 @@ func (r *RateFlow) init(c *Channel) {
 	r.c = c
 	r.tokens = r.Bucket
 	r.last = time.Duration(c.p.cfg.RT.Now())
-	r.fireFn = r.timerFire
+	r.fireFn = c.wrapTimer(r.timerFire)
 }
 
 func (r *RateFlow) refill() {
@@ -445,6 +458,8 @@ func (r *RateFlow) shutdown() {
 
 // Tokens returns the current bucket level (after refill); for tests.
 func (r *RateFlow) Tokens() float64 {
+	r.c.laneLock()
+	defer r.c.laneUnlock()
 	r.refill()
 	return r.tokens
 }

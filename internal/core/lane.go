@@ -1,0 +1,656 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mts"
+	"repro/internal/ring"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file is the sharded multi-core hot path: the per-proc send and
+// receive system threads of the paper's Figure 8 split into independent
+// *lanes*, each owning its own priority queues, freelists, wakeup, and
+// engine goroutine. A channel is pinned to exactly one lane for its
+// lifetime (default: hash of the peer, overridable via ChannelConfig.Lane),
+// so strict priority and per-channel FIFO ordering are preserved within a
+// channel while independent channels run on separate cores.
+//
+// Execution domains. Classic NCS has one domain — the mts scheduler, where
+// exactly one thread runs at a time. Sharded NCS adds one domain per lane:
+//
+//   - Lane domain: everything a channel owns (discipline state, piggyback
+//     words, counters' non-atomic neighbors, the lane's queues and
+//     freelists) is guarded by lane.mu. Senders enter it inline (lane.send
+//     locks, enqueues, services, unlocks — no system-thread hop at all);
+//     arriving frames enter through a multi-producer ring drained by the
+//     lane engine goroutine; timers enter through Channel.wrapTimer.
+//   - Scheduler domain: thread wakeups, receive matching (waiters/store),
+//     barrier state, and exception handlers stay where they always were.
+//     Lane code never calls them directly — it appends to the lane's
+//     out-queues (wake/fans/deliver/errs) and schedules a drain via
+//     Runtime.PostAsync, which runs between dispatches.
+//
+// Lock order: Proc.chanMu (channel table) before lane.mu, never the
+// reverse. Lane engines never block while holding lane.mu (PostAsync and
+// ring pushes are non-blocking by construction), so a scheduler-domain
+// thread waiting on lane.mu always makes progress.
+//
+// Lane count defaults to min(GOMAXPROCS, 4); a single lane keeps the
+// classic two-system-thread path byte for byte (New only builds lanes when
+// the resolved count exceeds one), which is the paper-faithful baseline the
+// benches A/B against.
+
+// rxItem is one arriving message routed to a lane: the decoded frame plus
+// its channel, resolved in the *sender's* goroutine so the engine never
+// touches the channel table.
+type rxItem struct {
+	m *transport.Message
+	c *Channel // nil for barrier control and unknown-channel traffic
+}
+
+// lane is one send/recv engine shard.
+type lane struct {
+	p   *Proc
+	idx int
+
+	// rx is the MPSC hand-off ring: transports (any goroutine) push, the
+	// engine drains.
+	rx *ring.MPSC[rxItem]
+
+	// mu guards everything below it, plus all state of every channel
+	// pinned to this lane (discipline windows, piggyback words, flush
+	// flags).
+	mu sync.Mutex
+
+	// pending is the lane's send priority queue (the classic sendQ,
+	// sharded); rxq is its receive priority queue (the classic rxIn).
+	pending prioQueue[*sendReq]
+	rxq     prioQueue[rxItem]
+
+	// Per-lane freelists: the classic proc-level pools, sharded so lanes
+	// never contend on recycling.
+	reqFree  []*sendReq
+	ctrlFree []*transport.Message
+	dataFree []*transport.Message
+
+	// Burst scratch, as in the classic send loop.
+	sendRun   []*sendReq
+	batchMsgs []*transport.Message
+	rxScratch []rxItem
+
+	// Out-queues: work that must complete in the scheduler domain.
+	// Appended under mu, swapped out by runDrain. drainPosted collapses
+	// redundant PostAsync calls into one pending drain.
+	wake        []*mts.Thread
+	fans        []*Thread
+	deliver     []*transport.Message
+	errs        []error
+	drainPosted bool
+
+	// Spare swap buffers (scheduler-domain only, see runDrain).
+	spareWake    []*mts.Thread
+	spareFans    []*Thread
+	spareDeliver []*transport.Message
+	spareErrs    []error
+
+	drainFn   func()
+	traceName string
+}
+
+// ---------------------------------------------------------------------------
+// Lane-local freelists (mirrors of the proc-level ones in core.go; callers
+// hold ln.mu).
+
+func (ln *lane) getReq() *sendReq {
+	if n := len(ln.reqFree); n > 0 {
+		req := ln.reqFree[n-1]
+		ln.reqFree = ln.reqFree[:n-1]
+		return req
+	}
+	return &sendReq{}
+}
+
+func (ln *lane) putReq(req *sendReq) {
+	*req = sendReq{}
+	ln.reqFree = append(ln.reqFree, req)
+}
+
+func (ln *lane) getCtrlMsg() *transport.Message {
+	if n := len(ln.ctrlFree); n > 0 {
+		m := ln.ctrlFree[n-1]
+		ln.ctrlFree = ln.ctrlFree[:n-1]
+		return m
+	}
+	return &transport.Message{Data: make([]byte, 0, 8)}
+}
+
+func (ln *lane) putCtrlMsg(m *transport.Message) {
+	data := m.Data[:0]
+	*m = transport.Message{Data: data}
+	ln.ctrlFree = append(ln.ctrlFree, m)
+}
+
+func (ln *lane) getDataMsg() *transport.Message {
+	if n := len(ln.dataFree); n > 0 {
+		m := ln.dataFree[n-1]
+		ln.dataFree = ln.dataFree[:n-1]
+		return m
+	}
+	return &transport.Message{}
+}
+
+func (ln *lane) putDataMsg(m *transport.Message) {
+	*m = transport.Message{}
+	ln.dataFree = append(ln.dataFree, m)
+}
+
+// ---------------------------------------------------------------------------
+// Proc-side setup
+
+// sharded reports whether the proc runs the multi-lane hot path.
+func (p *Proc) sharded() bool { return len(p.lanes) > 0 }
+
+// Lanes returns the number of active send/recv lanes (1 in the classic
+// two-system-thread configuration).
+func (p *Proc) Lanes() int {
+	if len(p.lanes) == 0 {
+		return 1
+	}
+	return len(p.lanes)
+}
+
+// laneIndex picks the lane for a channel: an explicit ChannelConfig.Lane
+// pins it (1-based, wrapped), otherwise the peer hash spreads channels so
+// traffic to different peers lands on different lanes.
+func (p *Proc) laneIndex(peer ProcID, hint int) int {
+	if hint > 0 {
+		return (hint - 1) % len(p.lanes)
+	}
+	return int(uint32(peer)) % len(p.lanes)
+}
+
+// initLanes builds the lane engines; called from New when the resolved lane
+// count exceeds one and the endpoint can deliver raw frames.
+func (p *Proc) initLanes(n int, fc transport.FrameCarrier) {
+	p.laneBS, _ = p.cfg.Endpoint.(transport.BatchSender)
+	p.laneStop = make(chan struct{})
+	p.lanes = make([]*lane, n)
+	for i := range p.lanes {
+		ln := &lane{p: p, idx: i, rx: ring.New[rxItem]()}
+		ln.drainFn = ln.runDrain
+		if p.cfg.Tracer != nil {
+			ln.traceName = fmt.Sprintf("%s/lane%d", p.cfg.TraceName, i)
+		}
+		p.lanes[i] = ln
+	}
+	p.shutdownFn = func() {
+		if p.mayShutdownSharded() {
+			p.wakeIfIdle(p.laneThread, "lanes idle")
+		}
+	}
+	fc.SetFrameHandler(p.routeFrame)
+	p.laneThread = p.cfg.RT.Create(fmt.Sprintf("ncs%d-lanes", p.cfg.ID), mts.PrioSystem, p.laneLoop)
+	p.laneWG.Add(n)
+	for _, ln := range p.lanes {
+		go ln.engine()
+	}
+}
+
+// routeFrame is the transport's frame handler: it decodes the frame and
+// resolves its channel in the *calling* goroutine (a peer's lane engine or
+// scheduler thread), then hands the message to the owning lane's ring. The
+// engine itself therefore never takes the channel-table lock.
+func (p *Proc) routeFrame(fb *wire.Buf) {
+	m, err := wire.UnmarshalPooled(fb)
+	if err != nil {
+		panic("core: self-produced message failed to decode: " + err.Error())
+	}
+	var c *Channel
+	if m.Tag != tagBarrier && m.Tag != tagBarrierRel {
+		c, _ = p.lookupChannel(m.From, m.Channel)
+	}
+	ln := p.lanes[p.laneIndex(m.From, 0)]
+	if c != nil {
+		ln = c.ln
+	}
+	ln.rx.Push(rxItem{m: m, c: c})
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+// engine is the lane's goroutine: drain the ring, process arrivals in
+// priority order, service the send queue the processing may have fed
+// (credit releases, acks opening windows, retransmissions), then hand
+// scheduler-domain completions over in one PostAsync.
+func (ln *lane) engine() {
+	defer ln.p.laneWG.Done()
+	tr := ln.p.cfg.Tracer
+	for {
+		items := ln.rx.Drain()
+		if len(items) == 0 {
+			if tr != nil {
+				tr.Set(ln.traceName, trace.Idle)
+			}
+			if !ln.rx.Sleep(ln.p.laneStop) {
+				if tr != nil {
+					tr.Close(ln.traceName)
+				}
+				return
+			}
+			continue
+		}
+		if tr != nil {
+			tr.Set(ln.traceName, trace.Comm)
+			tr.Mark(ln.traceName, fmt.Sprintf("q=%d", len(items)))
+		}
+		ln.mu.Lock()
+		for i := range items {
+			it := items[i]
+			level := ctrlLevel
+			if it.m.Tag >= 0 && it.c != nil {
+				level = it.c.priority
+			}
+			ln.rxq.push(level, it)
+			items[i] = rxItem{}
+		}
+		ln.processLocked()
+		ln.serviceLocked()
+		post := ln.queueDrainLocked()
+		ln.mu.Unlock()
+		if post {
+			ln.p.cfg.RT.PostAsync(ln.drainFn)
+		}
+		// During shutdown the keeper thread parks until every lane is
+		// quiescent; a frame the engine just consumed (the peer's last
+		// ack or credit) may have been the very thing it was waiting out,
+		// so re-run the shutdown check in the scheduler domain.
+		if ln.p.closing.Load() {
+			ln.p.cfg.RT.PostAsync(ln.p.shutdownFn)
+		}
+	}
+}
+
+// queueDrainLocked marks a drain as needed if the out-queues are non-empty;
+// the caller PostAsyncs drainFn exactly when it returns true.
+func (ln *lane) queueDrainLocked() bool {
+	if ln.drainPosted {
+		return false
+	}
+	if len(ln.wake) == 0 && len(ln.fans) == 0 && len(ln.deliver) == 0 && len(ln.errs) == 0 {
+		return false
+	}
+	ln.drainPosted = true
+	return true
+}
+
+// processLocked is the sharded recvLoop body: demultiplex everything queued
+// in rxq — control to the disciplines, data through error/flow control —
+// deferring scheduler-domain work (waiter dispatch, barrier state,
+// exceptions) to the out-queues.
+func (ln *lane) processLocked() {
+	for !ln.rxq.empty() {
+		it := ln.rxq.pop()
+		m, c := it.m, it.c
+		if m.Tag < 0 {
+			switch m.Tag {
+			case tagFlowAck, tagGBNAck:
+				if c == nil {
+					ln.errs = append(ln.errs, fmt.Errorf("control tag %d on unopened channel %d from proc %d", m.Tag, m.Channel, m.From))
+					m.Release()
+					continue
+				}
+				if m.Tag == tagFlowAck {
+					c.flow.onControl(m)
+				} else {
+					c.errc.onControl(m)
+				}
+				m.Release()
+			case tagBarrier, tagBarrierRel:
+				// Barrier state is proc-level scheduler-domain state.
+				ln.deliver = append(ln.deliver, m)
+			default:
+				ln.errs = append(ln.errs, fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))
+				m.Release()
+			}
+			continue
+		}
+		if c == nil {
+			ln.errs = append(ln.errs, fmt.Errorf("data on unopened channel %d from proc %d", m.Channel, m.From))
+			m.Release()
+			continue
+		}
+		if m.HasCredit {
+			c.flow.onCredit(m.Credit)
+		}
+		if m.HasAck {
+			c.errc.onAck(m.Ack)
+		}
+		if c.closed {
+			ln.errs = append(ln.errs, fmt.Errorf("data on closed channel %d from proc %d", m.Channel, m.From))
+			m.Release()
+			continue
+		}
+		if !c.errc.onData(m) {
+			continue
+		}
+		c.received.Add(1)
+		c.bytesReceived.Add(int64(len(m.Data)))
+		c.flow.onDelivered(m)
+		ln.deliver = append(ln.deliver, m)
+	}
+}
+
+// requeueRxLocked re-queues in-order flushes from a buffering discipline
+// (selective repeat) ahead of anything already waiting at the channel's
+// level, exactly as the classic path prepends into rxIn.
+func (ln *lane) requeueRxLocked(c *Channel, flushed []*transport.Message) {
+	items := ln.rxScratch[:0]
+	for _, m := range flushed {
+		items = append(items, rxItem{m: m, c: c})
+	}
+	ln.rxq.prependLevel(c.priority, items)
+	ln.rxScratch = items[:0]
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+
+// serviceLocked is the sharded sendLoop body: drain the lane's pending
+// queue highest level first through admission, piggyback attachment, and
+// same-destination batching. Unlike the classic loop it runs inline in
+// whatever context fed the queue — a sending thread, the engine, a timer —
+// so an uncontended send completes with no context switch at all.
+func (ln *lane) serviceLocked() {
+	p := ln.p
+	run := ln.sendRun[:0]
+	for !ln.pending.empty() {
+		req := ln.pending.pop()
+		if req.m.Tag >= 0 && !req.raw {
+			if req.ch.closed {
+				ch, to := req.m.Channel, req.m.To
+				ln.failSendLocked(req)
+				ln.errs = append(ln.errs, fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
+				continue
+			}
+			if !req.flowOK {
+				if !req.ch.flow.admit(req) {
+					continue
+				}
+				req.flowOK = true
+			}
+			if !req.ch.errc.admit(req) {
+				continue
+			}
+		}
+		if req.m.Tag >= 0 && req.ch != nil {
+			req.ch.attachPiggy(req.m)
+		}
+		if len(run) > 0 && (req.m.To != run[len(run)-1].m.To || len(run) >= maxSendBurst) {
+			run = ln.flushRunLocked(run)
+		}
+		run = append(run, req)
+		if p.laneBS == nil {
+			run = ln.flushRunLocked(run)
+		}
+	}
+	ln.sendRun = ln.flushRunLocked(run)
+}
+
+// flushRunLocked hands one same-destination run to the carrier and
+// completes the requests: counters, deferred wakeups, freelist recycling.
+func (ln *lane) flushRunLocked(run []*sendReq) []*sendReq {
+	if len(run) == 0 {
+		return run
+	}
+	p := ln.p
+	if p.cfg.Tracer != nil {
+		for _, req := range run {
+			p.traceChan(req.ch, trace.Comm)
+		}
+	}
+	if p.laneBS != nil && len(run) > 1 {
+		ms := ln.batchMsgs[:0]
+		for _, req := range run {
+			ms = append(ms, req.m)
+		}
+		p.laneBS.SendBatch(nil, ms)
+		for i := range ms {
+			ms[i] = nil
+		}
+		ln.batchMsgs = ms[:0]
+	} else {
+		for _, req := range run {
+			p.cfg.Endpoint.Send(nil, req.m)
+		}
+	}
+	for i, req := range run {
+		if req.ch != nil && !req.raw {
+			req.ch.sent.Add(1)
+			req.ch.bytesSent.Add(int64(len(req.m.Data)))
+		}
+		if p.cfg.Tracer != nil {
+			p.traceChan(req.ch, trace.Idle)
+		}
+		if req.done != nil {
+			// Inline sender still inside lane.send on this lane: it
+			// observes the flag before parking, so no wakeup is needed.
+			*req.done = true
+		} else if req.caller != nil {
+			ln.wake = append(ln.wake, req.caller)
+		}
+		if req.fan != nil {
+			ln.fans = append(ln.fans, req.fan)
+		}
+		if req.ctrl {
+			ln.putCtrlMsg(req.m)
+		} else {
+			ln.putDataMsg(req.m)
+		}
+		ln.putReq(req)
+		run[i] = nil
+	}
+	return run[:0]
+}
+
+// failSendLocked is the lane-domain failSend: recycle the request and
+// defer its caller's wakeup to the drain.
+func (ln *lane) failSendLocked(req *sendReq) {
+	caller, fan, done := req.caller, req.fan, req.done
+	if !req.ctrl && req.m != nil {
+		ln.putDataMsg(req.m)
+	}
+	ln.putReq(req)
+	if done != nil {
+		*done = true
+	} else if caller != nil {
+		ln.wake = append(ln.wake, caller)
+	}
+	if fan != nil {
+		ln.fans = append(ln.fans, fan)
+	}
+}
+
+// send is the sharded Thread.Send/Channel.Send body: build the message and
+// request from the lane's freelists, enqueue, and service the lane inline.
+// If the request flushed during the inline service (the common, uncongested
+// case) the thread never parks — the send completes in the caller's own
+// time slice, which is where the single-core speedup over the classic
+// park/dispatch/park cycle comes from. If a discipline deferred it, the
+// thread parks and the eventual flush (engine or timer) wakes it through
+// the drain.
+func (ln *lane) send(c *Channel, t *Thread, tag, toThread int, data []byte) {
+	p := ln.p
+	p.traceThread(t, trace.Idle)
+	ln.mu.Lock()
+	if c.closed {
+		ln.mu.Unlock()
+		panic(fmt.Sprintf("core(proc %d): send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
+	}
+	m := ln.getDataMsg()
+	m.From = p.cfg.ID
+	m.To = c.peer
+	m.FromThread = t.idx
+	m.ToThread = toThread
+	m.Tag = tag
+	m.Channel = c.id
+	m.Data = data
+	req := ln.getReq()
+	req.m = m
+	req.ch = c
+	t.sendDone = false
+	req.done = &t.sendDone
+	ln.pending.push(c.priority, req)
+	ln.serviceLocked()
+	done := t.sendDone
+	if !done {
+		// Deferred inside a discipline: completion happens under this same
+		// lock later, so clearing the flag pointer and installing the
+		// parked caller here is race-free. The engine may flush it before
+		// this thread reaches Park, in which case the wakeup surfaces
+		// either through drain's self-wake detection below or, after the
+		// park, through a Posted drain — which runs only between
+		// dispatches, i.e. strictly after the park takes effect.
+		req.done = nil
+		req.caller = t.mt
+	}
+	ln.mu.Unlock()
+	// The inline service may have completed other requests (deferred sends
+	// whose credit arrived) or raised errors; finish that scheduler-domain
+	// work in this thread's context.
+	if ln.drain(t.mt) {
+		done = true
+	}
+	if !done {
+		t.mt.Park("ncs send")
+	}
+	p.traceThread(t, trace.Compute)
+	p.sent.Add(1)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-domain drain
+
+// runDrain moves the lane's deferred scheduler-domain work into the
+// scheduler: deliver data to waiters/store, route barrier control, wake
+// send callers, retire fan requests, raise exceptions. Runs only in the
+// scheduler domain (a sending thread inline, or PostAsync between
+// dispatches).
+func (ln *lane) runDrain() { ln.drain(nil) }
+
+// drain is runDrain with self-wake detection: a thread draining inline on
+// its own send path passes its own mts thread, and a wakeup addressed to it
+// is reported through the return value instead of a no-op Unblock (the
+// thread is still running — it has not parked yet — so Unblock would lose
+// the wakeup and the thread would park forever). self carries at most one
+// pending wakeup, because a thread has at most one outstanding send.
+//
+// Reentrancy: processing a barrier message can send control (sendCtrlVec),
+// which drains a lane inline — possibly this one. The spare swap buffers
+// are therefore *claimed* (nil'd) while in use so a nested drain allocates
+// fresh scratch instead of aliasing the batch being processed.
+func (ln *lane) drain(self *mts.Thread) (selfWoken bool) {
+	p := ln.p
+	for {
+		ln.mu.Lock()
+		wake, fans, del, errs := ln.wake, ln.fans, ln.deliver, ln.errs
+		if len(wake) == 0 && len(fans) == 0 && len(del) == 0 && len(errs) == 0 {
+			ln.drainPosted = false
+			ln.mu.Unlock()
+			return selfWoken
+		}
+		ln.wake = ln.spareWake[:0]
+		ln.fans = ln.spareFans[:0]
+		ln.deliver = ln.spareDeliver[:0]
+		ln.errs = ln.spareErrs[:0]
+		ln.spareWake, ln.spareFans, ln.spareDeliver, ln.spareErrs = nil, nil, nil, nil
+		ln.mu.Unlock()
+
+		for i, m := range del {
+			if m.Tag < 0 {
+				p.onBarrierMsg(m)
+				m.Release()
+			} else {
+				p.dispatchData(nil, m)
+			}
+			del[i] = nil
+		}
+		for i, t := range wake {
+			if t == self {
+				selfWoken = true
+			} else {
+				p.cfg.RT.Unblock(t, false)
+			}
+			wake[i] = nil
+		}
+		for i, f := range fans {
+			p.fanDone(f)
+			fans[i] = nil
+		}
+		for i, err := range errs {
+			p.exception(err)
+			errs[i] = nil
+		}
+		ln.spareWake = wake[:0]
+		ln.spareFans = fans[:0]
+		ln.spareDeliver = del[:0]
+		ln.spareErrs = errs[:0]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+
+// mayShutdownSharded is the lane-mode shutdown predicate: user threads are
+// done, no channel's error control is awaiting acknowledgement, and every
+// lane has drained its queues.
+func (p *Proc) mayShutdownSharded() bool {
+	if !p.closing.Load() {
+		return false
+	}
+	p.chanMu.RLock()
+	chans := make([]*Channel, 0, len(p.channels))
+	for _, c := range p.channels {
+		chans = append(chans, c)
+	}
+	p.chanMu.RUnlock()
+	for _, c := range chans {
+		c.ln.mu.Lock()
+		pend := c.errc.pending()
+		c.ln.mu.Unlock()
+		if pend != 0 {
+			return false
+		}
+	}
+	for _, ln := range p.lanes {
+		ln.mu.Lock()
+		busy := !ln.pending.empty() || !ln.rxq.empty()
+		ln.mu.Unlock()
+		if busy || ln.rx.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// laneLoop is the lanes' shutdown supervisor: a system thread that parks
+// until the process may terminate, then stops the engines and performs the
+// final drain. It replaces the classic send/recv system threads' exit
+// paths (the lanes themselves are plain goroutines the mts scheduler never
+// sees).
+func (p *Proc) laneLoop(st *mts.Thread) {
+	for !p.mayShutdownSharded() {
+		st.Park("lanes idle")
+	}
+	close(p.laneStop)
+	p.laneWG.Wait()
+	// Engines may have queued completions after their last scheduled
+	// drain ran (or for drains the exiting Run loop would never execute).
+	for _, ln := range p.lanes {
+		ln.runDrain()
+	}
+}

@@ -232,6 +232,6 @@ func (f *PVMFilter) NRecv(tid ProcID, tag int) (*PVMBuffer, bool) {
 	m := p.store[i]
 	p.store = append(p.store[:i], p.store[i+1:]...)
 	p.consume(f.t.mt, m)
-	p.received++
+	p.received.Add(1)
 	return &PVMBuffer{data: m.Data}, true
 }

@@ -65,10 +65,18 @@ func (s *SelectiveRepeat) fork() ErrorControl {
 }
 
 // Retransmissions returns how many copies were re-sent.
-func (s *SelectiveRepeat) Retransmissions() int64 { return s.retrans }
+func (s *SelectiveRepeat) Retransmissions() int64 {
+	s.ch.laneLock()
+	defer s.ch.laneUnlock()
+	return s.retrans
+}
 
 // Abandoned returns how many messages were given up on.
-func (s *SelectiveRepeat) Abandoned() int64 { return s.abandoned }
+func (s *SelectiveRepeat) Abandoned() int64 {
+	s.ch.laneLock()
+	defer s.ch.laneUnlock()
+	return s.abandoned
+}
 
 func (s *SelectiveRepeat) init(c *Channel) {
 	if s.ch != nil {
@@ -101,7 +109,10 @@ func (s *SelectiveRepeat) admit(req *sendReq) bool {
 }
 
 func (s *SelectiveRepeat) armTimer(seq uint32) {
-	s.p.cfg.After(s.Timeout, func() { s.timerFire(seq) })
+	// Per-sequence timers need the sequence baked in, so unlike the other
+	// disciplines each arm builds a fresh closure (wrapped into the lane
+	// domain on sharded channels).
+	s.p.cfg.After(s.Timeout, s.ch.wrapTimer(func() { s.timerFire(seq) }))
 }
 
 func (s *SelectiveRepeat) timerFire(seq uint32) {
@@ -114,7 +125,7 @@ func (s *SelectiveRepeat) timerFire(seq uint32) {
 		s.abandoned++
 		delete(s.inflight, seq)
 		s.slide()
-		s.p.exception(fmt.Errorf("selective-repeat: gave up on seq %d to proc %d (channel %d)", seq, s.ch.peer, s.ch.id))
+		s.ch.raise(fmt.Errorf("selective-repeat: gave up on seq %d to proc %d (channel %d)", seq, s.ch.peer, s.ch.id))
 		s.p.checkShutdownWake()
 		return
 	}
@@ -177,7 +188,7 @@ func (s *SelectiveRepeat) onData(m *transport.Message) bool {
 			flushed = append(flushed, next)
 		}
 		if len(flushed) > 0 {
-			s.p.rxIn.prependLevel(s.ch.priority, flushed)
+			s.ch.requeueRx(flushed)
 		}
 		return true
 	case wire.SeqNewer(m.ESeq, s.expected):

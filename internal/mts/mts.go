@@ -166,6 +166,16 @@ type Runtime struct {
 	idleTimeout time.Duration
 	onSwitch    func(t *Thread)
 
+	// asyncQ is the unbounded companion to external: PostAsync appends under
+	// asyncMu and signals asyncTok (cap 1, non-blocking send), so producers
+	// that must never stall — the NCS lane engines, which may be holding a
+	// lane lock a scheduler-domain thread wants — have a wait-free entry
+	// point. Run and drainExternal drain it alongside external.
+	asyncMu    sync.Mutex
+	asyncQ     []func()
+	asyncSpare []func() // recycled drain buffer, so steady state allocates nothing
+	asyncTok   chan struct{}
+
 	switches int
 	running  bool
 
@@ -183,6 +193,7 @@ func New(cfg Config) *Runtime {
 		clock:       cfg.Clock,
 		parked:      make(chan struct{}, 1),
 		external:    make(chan func(), 1024),
+		asyncTok:    make(chan struct{}, 1),
 		idleTimeout: cfg.IdleTimeout,
 		onSwitch:    cfg.OnSwitch,
 	}
@@ -395,6 +406,45 @@ func (rt *Runtime) Post(fn func()) {
 	rt.external <- fn
 }
 
+// PostAsync is like Post but never blocks the caller: the function is
+// appended to an unbounded queue instead of a bounded channel. It exists
+// for producers that may hold a lock a scheduler-domain thread also takes
+// (the sharded NCS lane engines): if such a producer blocked on a full
+// external channel while Run waited on the thread that wants the lock, the
+// process would deadlock. fn still executes in the scheduler domain,
+// between dispatches, with the same ordering guarantees as Post relative
+// to other PostAsync calls.
+func (rt *Runtime) PostAsync(fn func()) {
+	rt.asyncMu.Lock()
+	rt.asyncQ = append(rt.asyncQ, fn)
+	rt.asyncMu.Unlock()
+	select {
+	case rt.asyncTok <- struct{}{}:
+	default:
+	}
+}
+
+// drainAsync runs all functions queued by PostAsync. Scheduler domain only.
+func (rt *Runtime) drainAsync() {
+	for {
+		rt.asyncMu.Lock()
+		if len(rt.asyncQ) == 0 {
+			rt.asyncMu.Unlock()
+			return
+		}
+		q := rt.asyncQ
+		rt.asyncQ = rt.asyncSpare[:0]
+		rt.asyncMu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+		for i := range q {
+			q[i] = nil
+		}
+		rt.asyncSpare = q
+	}
+}
+
 // After runs fn in the scheduler domain once d of real time has elapsed.
 // Only meaningful under a real clock; the sim engine provides virtual-time
 // timers instead.
@@ -450,18 +500,31 @@ func (rt *Runtime) Run() {
 					}
 				}
 				fn()
+			case <-rt.asyncTok:
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				rt.drainAsync()
 			case <-idle.C:
 				panic(fmt.Sprintf("mts(%s): deadlock — %d live threads, none runnable after %v\n%s",
 					rt.name, rt.live, rt.idleTimeout, rt.DumpState()))
 			}
 		} else {
-			fn := <-rt.external
-			fn()
+			select {
+			case fn := <-rt.external:
+				fn()
+			case <-rt.asyncTok:
+				rt.drainAsync()
+			}
 		}
 	}
 }
 
 func (rt *Runtime) drainExternal() {
+	rt.drainAsync()
 	for {
 		select {
 		case fn := <-rt.external:

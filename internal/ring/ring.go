@@ -1,0 +1,97 @@
+// Package ring provides the multi-producer single-consumer hand-off queue
+// that feeds NCS lane engines. Application threads (and the transport's
+// delivery goroutines) push items from arbitrary goroutines; exactly one
+// lane engine drains. The design goal is the same as the rest of the NCS
+// hot path: zero steady-state allocation and no producer-side blocking —
+// a push is one short mutex hold plus, at most, one non-blocking channel
+// send to wake a sleeping consumer.
+package ring
+
+import "sync"
+
+// MPSC is a multi-producer single-consumer queue of T. Producers call Push
+// from any goroutine; the single consumer alternates Drain and Sleep. Two
+// backing slices are swapped between producer and consumer so steady-state
+// operation reuses their capacity and allocates nothing.
+type MPSC[T any] struct {
+	mu       sync.Mutex
+	buf      []T // producer side: pending items
+	spare    []T // consumer side: recycled after each Drain
+	sleeping bool
+
+	// wake has capacity 1 and only ever receives a value when a producer
+	// observes sleeping==true (clearing it in the same critical section),
+	// so the send can never block.
+	wake chan struct{}
+}
+
+// New returns an empty queue.
+func New[T any]() *MPSC[T] {
+	return &MPSC[T]{wake: make(chan struct{}, 1)}
+}
+
+// Push appends v. If the consumer is asleep it is woken exactly once.
+func (q *MPSC[T]) Push(v T) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	doWake := q.sleeping
+	q.sleeping = false
+	q.mu.Unlock()
+	if doWake {
+		q.wake <- struct{}{}
+	}
+}
+
+// Drain returns all pending items, or nil if the queue is empty. The
+// returned slice is owned by the consumer until its next Drain call (the
+// two backing slices are swapped, not copied). Consumer-only.
+func (q *MPSC[T]) Drain() []T {
+	q.mu.Lock()
+	items := q.buf
+	q.buf = q.spare[:0]
+	q.mu.Unlock()
+	if len(items) == 0 {
+		q.spare = items
+		return nil
+	}
+	q.spare = items
+	return items
+}
+
+// Sleep blocks until a producer pushes or stop is closed. It returns true
+// if woken by a push (or if items raced in before sleeping), false if stop
+// fired. Consumer-only. A spurious true (empty Drain afterwards) is
+// possible and harmless.
+func (q *MPSC[T]) Sleep(stop <-chan struct{}) bool {
+	q.mu.Lock()
+	if len(q.buf) > 0 {
+		q.mu.Unlock()
+		return true
+	}
+	q.sleeping = true
+	q.mu.Unlock()
+	select {
+	case <-q.wake:
+		return true
+	case <-stop:
+		// A racing producer may have claimed the sleeping flag and sent a
+		// wake token; absorb it so a future Sleep doesn't wake spuriously
+		// and the producer's send never dangles.
+		q.mu.Lock()
+		q.sleeping = false
+		q.mu.Unlock()
+		select {
+		case <-q.wake:
+		default:
+		}
+		return false
+	}
+}
+
+// Len reports the number of pending items (racy, for stats/tests only).
+func (q *MPSC[T]) Len() int {
+	q.mu.Lock()
+	n := len(q.buf)
+	q.mu.Unlock()
+	return n
+}

@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPushDrainOrderSingleProducer(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	got := q.Drain()
+	if len(got) != 100 {
+		t.Fatalf("drained %d items, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	if q.Drain() != nil {
+		t.Fatal("second drain should be empty")
+	}
+}
+
+func TestConcurrentProducersDeliverAll(t *testing.T) {
+	const producers, perProducer = 8, 1000
+	q := New[int]()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(base + i)
+			}
+		}(p * perProducer)
+	}
+	seen := make(map[int]bool)
+	lastPer := make(map[int]int) // producer -> last value seen, checks per-producer FIFO
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(seen) < producers*perProducer {
+			if !q.Sleep(stop) {
+				return
+			}
+			for _, v := range q.Drain() {
+				if seen[v] {
+					t.Errorf("value %d delivered twice", v)
+					return
+				}
+				seen[v] = true
+				prod := v / perProducer
+				if last, ok := lastPer[prod]; ok && v <= last {
+					t.Errorf("producer %d out of order: %d after %d", prod, v, last)
+					return
+				}
+				lastPer[prod] = v
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumer saw %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestSleepStop(t *testing.T) {
+	q := New[int]()
+	stop := make(chan struct{})
+	close(stop)
+	if q.Sleep(stop) {
+		t.Fatal("Sleep on closed stop with empty queue should return false")
+	}
+	q.Push(1)
+	if !q.Sleep(stop) {
+		t.Fatal("Sleep with pending items should return true even when stopped")
+	}
+}
+
+func TestDrainReusesCapacitySteadyState(t *testing.T) {
+	q := New[int]()
+	// Warm both swap buffers.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			q.Push(i)
+		}
+		q.Drain()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(i)
+		}
+		q.Drain()
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state push/drain allocated %.1f/op, want 0", avg)
+	}
+}

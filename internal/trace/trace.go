@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/vclock"
 )
@@ -69,8 +70,12 @@ type Timeline struct {
 	open  bool
 }
 
-// Recorder collects timelines against a clock.
+// Recorder collects timelines against a clock. Recording is mutex-guarded:
+// a sharded process traces from its lane engine goroutines concurrently
+// with the scheduler's thread rows. Timelines handed out (Timeline, or
+// names from Names) are safe to read once their writers have stopped.
 type Recorder struct {
+	mu    sync.Mutex
 	clock vclock.Clock
 	rows  map[string]*Timeline
 	order []string
@@ -84,6 +89,8 @@ func NewRecorder(clock vclock.Clock) *Recorder {
 // Set switches the named row to state s as of now, closing the previous
 // segment. The first Set for a row opens it.
 func (r *Recorder) Set(name string, s State) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.clock.Now()
 	tl := r.rows[name]
 	if tl == nil {
@@ -108,6 +115,8 @@ func (r *Recorder) Set(name string, s State) {
 // Mark drops a labelled annotation on the named row at now, creating the
 // row (Idle) if it does not exist yet.
 func (r *Recorder) Mark(name, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.clock.Now()
 	tl := r.rows[name]
 	if tl == nil {
@@ -120,6 +129,12 @@ func (r *Recorder) Mark(name, label string) {
 
 // Close ends the named row's current segment at now.
 func (r *Recorder) Close(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closeLocked(name)
+}
+
+func (r *Recorder) closeLocked(name string) {
 	now := r.clock.Now()
 	tl := r.rows[name]
 	if tl == nil || !tl.open {
@@ -133,16 +148,26 @@ func (r *Recorder) Close(name string) {
 
 // CloseAll ends every open row.
 func (r *Recorder) CloseAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for name := range r.rows {
-		r.Close(name)
+		r.closeLocked(name)
 	}
 }
 
 // Timeline returns the named row, or nil.
-func (r *Recorder) Timeline(name string) *Timeline { return r.rows[name] }
+func (r *Recorder) Timeline(name string) *Timeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rows[name]
+}
 
 // Names returns row names in first-use order.
-func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
 
 // TotalIn returns the summed duration the row spent in state s.
 func (tl *Timeline) TotalIn(s State) vclock.Duration {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mts"
@@ -130,12 +131,23 @@ type MemEndpoint struct {
 	inHead  int
 	drainFn func()
 
-	// batchScratch and dropScratch stage one SendBatch call's marshalled
-	// frames and fault-injection verdicts; only the sending process's
-	// send system thread touches them.
-	batchScratch []*wire.Buf
-	dropScratch  []bool
+	// frameH, when set, bypasses the inbox/Post delivery path entirely:
+	// frames destined for this endpoint are handed to it in the *sender's*
+	// goroutine (see FrameCarrier). Stored atomically so concurrent sending
+	// lanes read it without a lock.
+	frameH atomic.Pointer[FrameHandler]
 }
+
+// memScratch stages one SendBatch call's marshalled frames and
+// fault-injection verdicts. Pooled rather than per-endpoint because under
+// the sharded core several lanes can run SendBatch on the same endpoint
+// concurrently.
+type memScratch struct {
+	frames []*wire.Buf
+	drops  []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(memScratch) }}
 
 // Proc implements Endpoint.
 func (e *MemEndpoint) Proc() ProcID { return e.proc }
@@ -145,6 +157,24 @@ func (e *MemEndpoint) SetHandler(h Handler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handler = h
+}
+
+// SetFrameHandler implements FrameCarrier. Must be installed before any
+// peer sends; delivery switches from the inbox/Post path to direct calls
+// in the sender's goroutine.
+func (e *MemEndpoint) SetFrameHandler(h FrameHandler) {
+	e.frameH.Store(&h)
+}
+
+// deliverFrame routes one marshalled frame to the endpoint: straight to
+// the frame handler when one is installed, else through the inbox into the
+// scheduler domain.
+func (e *MemEndpoint) deliverFrame(fb *wire.Buf) {
+	if hp := e.frameH.Load(); hp != nil {
+		(*hp)(fb)
+		return
+	}
+	e.enqueue(fb)
 }
 
 // dropLocked runs fault injection for one message; callers hold n.mu.
@@ -191,10 +221,10 @@ func (e *MemEndpoint) Send(t *mts.Thread, m *Message) {
 	fb := wire.GetBuf(m.WireSize())
 	fb.B = m.MarshalAppend(fb.B)
 	if latency > 0 {
-		time.AfterFunc(latency, func() { dst.enqueue(fb) })
+		time.AfterFunc(latency, func() { dst.deliverFrame(fb) })
 		return
 	}
-	dst.enqueue(fb)
+	dst.deliverFrame(fb)
 }
 
 // SendBatch implements BatchSender: one mesh-lock acquisition runs fault
@@ -218,8 +248,11 @@ func (e *MemEndpoint) SendBatch(t *mts.Thread, ms []*Message) {
 	}
 	// Only the fault-injection verdicts need the mesh lock (the seeded
 	// RNG); the marshal copies run after unlock so one sender's burst
-	// never serializes the whole mesh behind its memcpy loop.
-	drops := e.dropScratch[:0]
+	// never serializes the whole mesh behind its memcpy loop. The scratch
+	// is pooled: concurrent lanes batching to the same endpoint each get
+	// their own staging buffers.
+	sc := scratchPool.Get().(*memScratch)
+	drops := sc.drops[:0]
 	for _, m := range ms {
 		if m.From != e.proc {
 			n.mu.Unlock()
@@ -233,8 +266,8 @@ func (e *MemEndpoint) SendBatch(t *mts.Thread, ms []*Message) {
 	}
 	latency := n.latency
 	n.mu.Unlock()
-	e.dropScratch = drops[:0]
-	frames := e.batchScratch[:0]
+	sc.drops = drops[:0]
+	frames := sc.frames[:0]
 	for i, m := range ms {
 		if drops[i] {
 			continue
@@ -243,21 +276,30 @@ func (e *MemEndpoint) SendBatch(t *mts.Thread, ms []*Message) {
 		fb.B = m.MarshalAppend(fb.B)
 		frames = append(frames, fb)
 	}
-	if latency > 0 {
+	switch {
+	case latency > 0:
 		// Latency is modeled per message; batching would distort it.
 		for _, fb := range frames {
 			fb := fb
-			time.AfterFunc(latency, func() { dst.enqueue(fb) })
+			time.AfterFunc(latency, func() { dst.deliverFrame(fb) })
 		}
-	} else if len(frames) > 0 {
+	case dst.frameH.Load() != nil:
+		// Frame mode: hand each frame over in order in this goroutine. A
+		// channel's messages batch under its lane's lock, so per-channel
+		// FIFO is preserved.
+		for _, fb := range frames {
+			dst.deliverFrame(fb)
+		}
+	case len(frames) > 0:
 		dst.enqueueBatch(frames)
 	}
-	// The frames now belong to the destination's inbox; drop the scratch
+	// The frames now belong to the destination; drop the scratch
 	// references so the backing array pins nothing between batches.
 	for i := range frames {
 		frames[i] = nil
 	}
-	e.batchScratch = frames[:0]
+	sc.frames = frames[:0]
+	scratchPool.Put(sc)
 }
 
 // enqueue hands one marshalled frame to the endpoint and schedules a drain

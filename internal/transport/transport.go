@@ -84,3 +84,22 @@ type Endpoint interface {
 type BatchSender interface {
 	SendBatch(t *mts.Thread, ms []*Message)
 }
+
+// FrameHandler consumes one marshalled wire frame. Unlike Handler it may be
+// invoked from any goroutine — the sender's, a timer's — not just the
+// destination's scheduler domain; the consumer owns the pooled buffer and
+// is responsible for decoding and recycling it.
+type FrameHandler func(fb *wire.Buf)
+
+// FrameCarrier is the optional raw-frame delivery path used by the sharded
+// (multi-lane) NCS core: instead of Posting decoded messages into the
+// destination's scheduler loop, the carrier hands marshalled frames
+// straight to the handler, which routes them onto per-lane MPSC rings
+// without a scheduler hop. Installing a frame handler replaces the
+// Handler-based delivery path for that endpoint; per-channel ordering must
+// be preserved exactly as for Send/SendBatch. Carriers that cannot make
+// that guarantee simply don't implement the interface and the core falls
+// back to the classic two-thread path.
+type FrameCarrier interface {
+	SetFrameHandler(h FrameHandler)
+}
