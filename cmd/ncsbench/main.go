@@ -13,6 +13,7 @@
 //	ncsbench -experiment fig16        # JPEG processor-state timeline
 //	ncsbench -experiment atmapi       # E8: Approach 2 (HSM) vs Approach 1
 //	ncsbench -experiment wan          # extra: NYNET WAN (DS-3 trunk) sweep
+//	ncsbench -experiment mesh         # live channel mesh (-laneskew, -weights)
 //
 // All table/figure numbers are produced by the virtual-time discrete-event
 // simulation described in DESIGN.md; absolute seconds are calibrated to the
@@ -32,9 +33,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (all, table1, table2, table3, fig2, fig3, fig4, fig16, atmapi, wan)")
+	experiment := flag.String("experiment", "all", "which experiment to run (all, table1, table2, table3, fig2, fig3, fig4, fig16, atmapi, wan, mesh)")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file (lane mu hot spots)")
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file (ring sleeps, scheduler waits)")
+	laneSkew := flag.Bool("laneskew", false, "mesh: route every channel to lane 0 (the hot-lane worst case the rebalancer repairs)")
+	weights := flag.String("weights", "", "mesh: comma-separated DRR weights assigned round-robin to the channels (default priority+1)")
 	flag.Parse()
 
 	// Contention profiling for the sharded hot path: the lane engines
@@ -62,8 +65,9 @@ func main() {
 		"wan":      wan,
 		"ablation": ablation,
 		"micro":    micro,
+		"mesh":     func() { mesh(*laneSkew, *weights) },
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig16", "atmapi", "wan", "ablation", "micro"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig16", "atmapi", "wan", "ablation", "micro", "mesh"}
 
 	if *experiment == "all" {
 		for _, name := range order {

@@ -129,8 +129,24 @@ func main() {
 	wantGap := time.Duration(float64(time.Second) / rate)
 
 	printStats := func(name string, s core.ChannelStats) {
-		fmt.Printf("  channel %-5s flow=%-6s error=%-9s sent %3d msgs / %5.1f KB, delivered %3d msgs / %5.1f KB\n",
+		fmt.Printf("  channel %-5s flow=%-6s error=%-9s sent %3d msgs / %5.1f KB, delivered %3d msgs / %5.1f KB",
 			name, s.Flow, s.Error, s.Sent, float64(s.BytesSent)/1024, s.Received, float64(s.BytesReceived)/1024)
+		if s.Lane >= 0 {
+			// Sharded mode: the lane scheduler's view of this channel.
+			fmt.Printf(" [lane %d, weight %d, migrated %dx]", s.Lane, s.Weight, s.Migrations)
+		}
+		fmt.Println()
+	}
+	printLanes := func(name string, p *core.Proc) {
+		ls := p.LaneStats()
+		if ls == nil {
+			return // classic single-lane engine (GOMAXPROCS=1): no lane scheduler
+		}
+		fmt.Printf("%s lanes:\n", name)
+		for _, l := range ls {
+			fmt.Printf("  lane %d: %d channels, piggy share %4.1f%% (%d coalesced cross-channel), %d DRR rounds, migrations %d in / %d out, %d steals\n",
+				l.Lane, l.Channels, 100*l.PiggyShare, l.CtrlCoalesced, l.DRRRounds, l.MigratedIn, l.MigratedOut, l.Steals)
+		}
 	}
 	fmt.Printf("VOD stream: %d frames at %.0f fps target while %d MB of lossy bulk traffic shared the proc pair\n",
 		frames, frameRate, bulkMsgs*bulkSize>>20)
@@ -142,6 +158,8 @@ func main() {
 	fmt.Println("client side:")
 	printStats("video", video1.Stats())
 	printStats("bulk", bulk1.Stats())
+	printLanes("server", server)
+	printLanes("client", client)
 	bulkFlow := bulk0.Flow().(*core.WindowFlow)
 	clientFlow := bulk1.Flow().(*core.WindowFlow)
 	fmt.Printf("bulk recovery: %d frames dropped by the fabric (data, credits, and acks alike), %d retransmissions, video untouched\n",

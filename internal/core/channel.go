@@ -70,8 +70,18 @@ type ChannelConfig struct {
 	// configuration: 1-based (wrapped into the lane count), 0 selects the
 	// default placement — a hash of the peer. Channels sharing a lane
 	// serialize against each other; channels on different lanes run
-	// concurrently. Ignored in the classic single-lane configuration.
+	// concurrently. An explicitly pinned channel is never moved by the
+	// hot-lane rebalancer; hash-placed channels are. Ignored in the classic
+	// single-lane configuration.
 	Lane int
+	// Weight is the channel's deficit-round-robin service weight within its
+	// lane (sharded configuration only): each round a backlogged channel
+	// earns Weight quanta of transmission, so two channels sharing a lane
+	// split bandwidth Weight-proportionally instead of the higher priority
+	// starving the lower. 0 selects Priority+1, so by default higher
+	// priority also means a larger share. The classic single-lane path
+	// keeps the paper's strict priority and ignores Weight.
+	Weight int
 }
 
 // chanKey indexes a Proc's channel table.
@@ -87,27 +97,60 @@ type Channel struct {
 	peer     ProcID
 	id       ChannelID
 	priority int
+	weight   int // DRR weight within the lane (Priority+1 by default)
+	pinned   bool
 	flow     FlowControl
 	errc     ErrorControl
 	closed   bool
 
-	// ln is the lane the channel is pinned to for life in the sharded
+	// lnp is the lane the channel currently runs on in the sharded
 	// configuration (nil classically). All mutable channel state below —
 	// discipline state, piggyback words, the closed flag — is guarded by
-	// ln.mu when ln is set, and by the scheduler domain otherwise.
-	ln *lane
+	// the *current* lane's mu when set, and by the scheduler domain
+	// otherwise. The hot-lane rebalancer may move an idle-safe channel to
+	// another lane (holding both lane locks), so out-of-lock readers use
+	// lockLane, which loads, locks, and re-checks; in-lock contexts may
+	// Load directly — the pointer cannot change while its lane's lock is
+	// held.
+	lnp atomic.Pointer[lane]
 
 	// Pending reverse-direction control: the receiver role's credit
 	// advertisement and error-control acks wait here for a data frame
-	// toward the peer to piggyback on (attachPiggy) or for the flush
-	// timer (flushFire), whichever comes first. pendCredit is cumulative
-	// (a newer value supersedes); pendAcks holds at most one word under
-	// go-back-N (cumulative) and a short burst under selective repeat.
+	// toward the peer to piggyback on (attachPiggy or a same-lane
+	// cross-channel ride) or for the lane's flush wheel, whichever comes
+	// first. pendCredit is cumulative (a newer value supersedes); pendAcks
+	// holds at most one word under go-back-N (cumulative) and a short
+	// burst under selective repeat.
 	pendCredit   uint32
 	pendCreditOn bool
 	pendAcks     []uint32
-	flushOn      bool
-	flushFn      func()
+
+	// Flush-wheel state (owning lane's lock; scheduler domain classically):
+	// flushOn marks an entry in the wheel, flushAt its deadline, and
+	// flushDeferred that the wheel already granted one extra window waiting
+	// for an imminent same-peer data ride (bounded: the second expiry
+	// always flushes). inPend marks membership in the lane's
+	// pending-control index; mustFlushOn marks a forced advertisement
+	// queued for the end of the current service pass.
+	flushOn       bool
+	flushAt       time.Duration
+	flushDeferred bool
+	inPend        bool
+	mustFlushOn   bool
+
+	// DRR state (owning lane's lock): sq is the channel's FIFO of queued
+	// send requests, deficit its byte deficit, inSched its membership in
+	// the lane scheduler's active ring.
+	sq      list.FIFO[*sendReq]
+	deficit int64
+	inSched bool
+
+	// Rebalance state: loadAcc accumulates enqueued bytes since the last
+	// rebalance scan (atomic — senders add outside any single lane's
+	// lock); lastMoveTick is the rebalance tick of the last migration
+	// (cooldown, under the lane lock).
+	loadAcc      atomic.Int64
+	lastMoveTick int64
 
 	// lane names the channel's trace timeline (empty without a Tracer).
 	lane string
@@ -118,6 +161,8 @@ type Channel struct {
 	bytesSent, bytesReceived atomic.Int64
 	ctrlPiggy                atomic.Int64 // control words that rode data frames
 	ctrlStandalone           atomic.Int64 // standalone control frames sent
+	ctrlCoalesced            atomic.Int64 // words that rode another channel's frame
+	migrations               atomic.Int64 // times the rebalancer moved this channel
 }
 
 // ChannelStats is a channel's traffic snapshot.
@@ -135,6 +180,19 @@ type ChannelStats struct {
 	// (threshold advertisements, flush-timer fallbacks, window syncs).
 	// Their ratio is the piggyback protocol's effectiveness.
 	CtrlPiggybacked, CtrlStandalone int64
+	// CtrlCoalesced counts the subset of CtrlPiggybacked that rode a
+	// *different* channel's data frame toward the same peer (lane-aware
+	// cross-channel coalescing, sharded mode only).
+	CtrlCoalesced int64
+	// Weight is the channel's DRR service weight and Deficit its current
+	// byte deficit in the lane scheduler (sharded mode; zero classically).
+	Weight  int
+	Deficit int64
+	// Lane is the index of the lane currently serving the channel (-1
+	// classically) and Migrations how many times the hot-lane rebalancer
+	// has moved it.
+	Lane       int
+	Migrations int64
 	// Flow and Error name the channel's disciplines.
 	Flow, Error string
 }
@@ -150,6 +208,9 @@ func (p *Proc) Open(peer ProcID, cfg ChannelConfig) *Channel {
 	if cfg.Priority < 0 || cfg.Priority >= NumChannelPriorities {
 		panic(fmt.Sprintf("core: channel priority must be 0..%d", NumChannelPriorities-1))
 	}
+	if cfg.Weight < 0 {
+		panic("core: channel weight must be >= 0 (0 selects Priority+1)")
+	}
 	key := chanKey{peer: peer, id: cfg.ID}
 	fc := cfg.Flow
 	if fc == nil {
@@ -159,7 +220,7 @@ func (p *Proc) Open(peer ProcID, cfg ChannelConfig) *Channel {
 	if ec == nil {
 		ec = NoErrorControl{}
 	}
-	return p.addChannel(key, cfg.Priority, cfg.Lane, fc, ec)
+	return p.addChannel(key, cfg.Priority, cfg.Lane, cfg.Weight, fc, ec)
 }
 
 // DefaultChannel returns the implicit channel 0 toward peer, creating it on
@@ -179,7 +240,7 @@ func (p *Proc) DefaultChannel(peer ProcID) *Channel {
 	if ec == nil {
 		ec = NoErrorControl{}
 	}
-	return p.addChannel(chanKey{peer: peer}, 0, 0, fc.fork(), ec.fork())
+	return p.addChannel(chanKey{peer: peer}, 0, 0, 0, fc.fork(), ec.fork())
 }
 
 // addChannel builds a channel and publishes it. The channel is fully
@@ -188,12 +249,19 @@ func (p *Proc) DefaultChannel(peer ProcID) *Channel {
 // the instant it is visible. Two goroutines may race to create the same
 // default channel; the loser's channel is discarded and the winner's
 // returned. Explicit duplicate Opens still panic.
-func (p *Proc) addChannel(key chanKey, prio, laneHint int, fc FlowControl, ec ErrorControl) *Channel {
-	c := &Channel{p: p, peer: key.peer, id: key.id, priority: prio, flow: fc, errc: ec}
-	if p.sharded() {
-		c.ln = p.lanes[p.laneIndex(key.peer, laneHint)]
+func (p *Proc) addChannel(key chanKey, prio, laneHint, weight int, fc FlowControl, ec ErrorControl) *Channel {
+	if weight == 0 {
+		weight = prio + 1
 	}
-	c.flushFn = c.wrapTimer(c.flushFire)
+	c := &Channel{p: p, peer: key.peer, id: key.id, priority: prio, weight: weight, flow: fc, errc: ec}
+	if p.sharded() {
+		c.lnp.Store(p.lanes[p.laneIndex(key.peer, laneHint)])
+		c.pinned = laneHint > 0
+		ln := c.lnp.Load()
+		ln.mu.Lock()
+		ln.chans = append(ln.chans, c)
+		ln.mu.Unlock()
+	}
 	if p.cfg.Tracer != nil {
 		c.lane = fmt.Sprintf("%s/ch%d>%d", p.cfg.TraceName, key.id, key.peer)
 	}
@@ -213,8 +281,7 @@ func (p *Proc) addChannel(key chanKey, prio, laneHint int, fc FlowControl, ec Er
 		// Opened after the user threads finished (unusual, but legal from
 		// an exception handler): give the disciplines their shutdown signal
 		// immediately so the process can still terminate.
-		if ln := c.ln; ln != nil {
-			ln.mu.Lock()
+		if ln := c.lockLane(); ln != nil {
 			fc.shutdown()
 			ec.shutdown()
 			ln.serviceLocked()
@@ -265,8 +332,7 @@ func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
 // closed channel sees its error-control tier retry and eventually give
 // up, exactly as against a dead process.
 func (c *Channel) Close() {
-	if ln := c.ln; ln != nil {
-		ln.mu.Lock()
+	if ln := c.lockLane(); ln != nil {
 		if c.closed {
 			ln.mu.Unlock()
 			return
@@ -299,21 +365,51 @@ func (c *Channel) Close() {
 // Closed reports whether Close has been called on this end.
 func (c *Channel) Closed() bool { return c.closed }
 
+// lockLane acquires the channel's *current* lane lock, returning the locked
+// lane (nil classically). Because the rebalancer only moves a channel while
+// holding both the source and destination lane locks, a loaded pointer that
+// still matches after locking is stable until the caller unlocks — the
+// load/lock/re-check loop below is the standard out-of-lock entry into a
+// migratable channel's lane domain.
+func (c *Channel) lockLane() *lane {
+	for {
+		ln := c.lnp.Load()
+		if ln == nil {
+			return nil
+		}
+		ln.mu.Lock()
+		if c.lnp.Load() == ln {
+			return ln
+		}
+		ln.mu.Unlock()
+	}
+}
+
+// laneOf returns the channel's current lane without locking (nil
+// classically). Only in-lock contexts — discipline callbacks, lane engine
+// code — may treat the result as stable.
+func (c *Channel) laneOf() *lane { return c.lnp.Load() }
+
 // laneLock / laneUnlock guard lane-domain discipline state for the public
 // introspection accessors (WindowFlow.Outstanding, GoBackN.Retransmissions,
 // ...): on a sharded channel that state mutates under the lane lock in the
 // engine goroutines, so a reader outside the lane must take it. Both are
 // no-ops on classic channels (scheduler-domain state, scheduler-domain
-// callers) and on a nil receiver (discipline not yet bound).
+// callers) and on a nil receiver (discipline not yet bound). laneUnlock
+// releases the lane laneLock acquired: the channel cannot migrate while its
+// current lane's lock is held, so the loaded pointer still names it.
 func (c *Channel) laneLock() {
-	if c != nil && c.ln != nil {
-		c.ln.mu.Lock()
+	if c != nil {
+		c.lockLane()
 	}
 }
 
 func (c *Channel) laneUnlock() {
-	if c != nil && c.ln != nil {
-		c.ln.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if ln := c.lnp.Load(); ln != nil {
+		ln.mu.Unlock()
 	}
 }
 
@@ -333,15 +429,23 @@ func (c *Channel) Flow() FlowControl { return c.flow }
 func (c *Channel) Error() ErrorControl { return c.errc }
 
 // Stats returns the channel's traffic counters. Safe to call while traffic
-// is flowing (the counters are atomic); the snapshot is per-counter
-// consistent, not cross-counter.
+// is flowing (the counters are atomic; the scheduler fields take the lane
+// lock briefly); the snapshot is per-counter consistent, not cross-counter.
 func (c *Channel) Stats() ChannelStats {
-	return ChannelStats{
+	st := ChannelStats{
 		Sent: c.sent.Load(), Received: c.received.Load(),
 		BytesSent: c.bytesSent.Load(), BytesReceived: c.bytesReceived.Load(),
 		CtrlPiggybacked: c.ctrlPiggy.Load(), CtrlStandalone: c.ctrlStandalone.Load(),
+		CtrlCoalesced: c.ctrlCoalesced.Load(), Migrations: c.migrations.Load(),
+		Weight: c.weight, Lane: -1,
 		Flow: c.flow.Name(), Error: c.errc.Name(),
 	}
+	if ln := c.lockLane(); ln != nil {
+		st.Deficit = c.deficit
+		st.Lane = ln.idx
+		ln.mu.Unlock()
+	}
+	return st
 }
 
 // ---------------------------------------------------------------------------
@@ -376,29 +480,68 @@ func (c *Channel) queueAck(v uint32, cumulative bool) {
 	c.armFlush()
 }
 
-// armFlush schedules the standalone fallback for queued control. A
-// negative CtrlFlushDelay disables the piggyback window entirely: control
-// flushes standalone immediately, the pre-piggyback behavior.
+// armFlush schedules the standalone fallback for queued control by filing
+// the channel on its flush wheel — one timer per lane (or per proc,
+// classically) serves every channel with pending control, so 256 idle
+// channels cost at most one armed timer each wheel, not 256. A negative
+// CtrlFlushDelay disables the piggyback window entirely: control flushes
+// standalone immediately, the pre-piggyback behavior.
 func (c *Channel) armFlush() {
 	if c.p.ctrlFlush < 0 {
 		c.flushCtrl()
+		return
+	}
+	if ln := c.lnp.Load(); ln != nil {
+		ln.pendAddLocked(c)
+		if c.flushOn || c.closed {
+			return
+		}
+		c.flushOn = true
+		c.flushAt = time.Duration(c.p.cfg.RT.Now()) + c.p.ctrlFlush
+		ln.flushQ.Push(c)
+		ln.armWheelLocked()
 		return
 	}
 	if c.flushOn || c.closed {
 		return
 	}
 	c.flushOn = true
-	c.p.cfg.After(c.p.ctrlFlush, c.flushFn)
+	c.flushAt = time.Duration(c.p.cfg.RT.Now()) + c.p.ctrlFlush
+	c.p.flushQ.Push(c)
+	c.p.armWheel()
 }
 
-// flushFire is the flush timer: no reverse data frame picked the pending
-// control up within the piggyback window, so it goes standalone.
-func (c *Channel) flushFire() {
-	c.flushOn = false
-	if c.closed {
+// armWheel schedules the classic proc-level flush wheel for its head
+// deadline. Entries enter with a constant delay, so the queue is in
+// deadline order and one armed timer covers them all.
+func (p *Proc) armWheel() {
+	if p.wheelOn || p.flushQ.Size() == 0 {
 		return
 	}
-	c.flushCtrl()
+	d := p.flushQ.Peek().flushAt - time.Duration(p.cfg.RT.Now())
+	if d < 0 {
+		d = 0
+	}
+	p.wheelOn = true
+	p.flushTimers.Add(1)
+	p.cfg.After(d, p.wheelFn)
+}
+
+// wheelFire is the classic flush wheel: flush every channel whose piggyback
+// window expired, then re-arm for the next deadline.
+func (p *Proc) wheelFire() {
+	p.flushTimers.Add(-1)
+	p.wheelOn = false
+	now := time.Duration(p.cfg.RT.Now())
+	for p.flushQ.Size() > 0 && p.flushQ.Peek().flushAt <= now {
+		c := p.flushQ.Pop()
+		c.flushOn = false
+		if c.closed {
+			continue
+		}
+		c.flushCtrl()
+	}
+	p.armWheel()
 }
 
 // flushCtrl sends whatever control is still pending as standalone frames:
@@ -407,16 +550,26 @@ func (c *Channel) flushFire() {
 // caller holds the lane lock and is responsible for servicing the lane
 // afterwards (the frames are queued, not yet transmitted).
 func (c *Channel) flushCtrl() {
+	ln := c.lnp.Load()
 	if c.pendCreditOn {
 		c.pendCreditOn = false
 		c.ctrlStandalone.Add(1)
+		if ln != nil {
+			ln.ctrlStandaloneL++
+		}
 		c.sendCtrl(tagFlowAck, c.pendCredit, true)
 		c.flow.creditSent(c.pendCredit)
 	}
 	if len(c.pendAcks) > 0 {
 		c.ctrlStandalone.Add(1)
+		if ln != nil {
+			ln.ctrlStandaloneL++
+		}
 		c.sendCtrlVec(tagGBNAck, c.pendAcks)
 		c.pendAcks = c.pendAcks[:0]
+	}
+	if ln != nil {
+		ln.pendDropLocked(c)
 	}
 }
 
@@ -424,7 +577,7 @@ func (c *Channel) flushCtrl() {
 // owning lane's queue in sharded mode (the caller holds the lane lock and
 // services it afterwards), the proc-wide send queue classically.
 func (c *Channel) sendCtrl(tag int, payload uint32, withPayload bool) {
-	ln := c.ln
+	ln := c.lnp.Load()
 	if ln == nil {
 		c.p.sendCtrl(c.peer, c.id, tag, payload, withPayload)
 		return
@@ -445,7 +598,7 @@ func (c *Channel) sendCtrl(tag int, payload uint32, withPayload bool) {
 
 // sendCtrlVec is sendCtrl with a multi-word payload (ack bursts).
 func (c *Channel) sendCtrlVec(tag int, words []uint32) {
-	ln := c.ln
+	ln := c.lnp.Load()
 	if ln == nil {
 		c.p.sendCtrlVec(c.peer, c.id, tag, words)
 		return
@@ -470,14 +623,14 @@ func (c *Channel) sendCtrlVec(tag int, words []uint32) {
 // callback, service whatever it queued (retransmissions, credit syncs),
 // then drain the scheduler-domain completions. Timer callbacks fire via
 // Config.After, which is always a scheduler-domain context, so the drain
-// is legal here.
+// is legal here. The lane is resolved at fire time, not capture time: the
+// rebalancer may have migrated the channel since the timer was armed.
 func (c *Channel) wrapTimer(fn func()) func() {
-	ln := c.ln
-	if ln == nil {
+	if c.lnp.Load() == nil {
 		return fn
 	}
 	return func() {
-		ln.mu.Lock()
+		ln := c.lockLane()
 		fn()
 		ln.serviceLocked()
 		ln.mu.Unlock()
@@ -489,8 +642,8 @@ func (c *Channel) wrapTimer(fn func()) func() {
 // deferred through the lane drain in sharded mode (callers hold the lane
 // lock, and exception handlers are user code that must not run under it).
 func (c *Channel) raise(err error) {
-	if c.ln != nil {
-		c.ln.errs = append(c.ln.errs, err)
+	if ln := c.lnp.Load(); ln != nil {
+		ln.errs = append(ln.errs, err)
 		return
 	}
 	c.p.exception(err)
@@ -500,8 +653,8 @@ func (c *Channel) raise(err error) {
 // discipline (selective repeat) ahead of anything already waiting at the
 // channel's priority level, so release order equals sequence order.
 func (c *Channel) requeueRx(flushed []*transport.Message) {
-	if c.ln != nil {
-		c.ln.requeueRxLocked(c, flushed)
+	if ln := c.lnp.Load(); ln != nil {
+		ln.requeueRxLocked(c, flushed)
 		return
 	}
 	c.p.rxIn.prependLevel(c.priority, flushed)
@@ -510,18 +663,34 @@ func (c *Channel) requeueRx(flushed []*transport.Message) {
 // attachPiggy moves pending control onto a departing data frame: the
 // credit word and the oldest queued ack ride for free. Runs in the send
 // system thread immediately before the frame is handed to the carrier.
+// Slots a previous transmission already occupied are skipped (a go-back-N
+// retransmission re-sends the exact bytes it carried the first time);
+// cross-channel coalescing may then fill the free slot from a sibling
+// channel, so each attached word is stamped with its owning channel.
 func (c *Channel) attachPiggy(m *transport.Message) {
-	if c.pendCreditOn {
+	ln := c.lnp.Load()
+	if c.pendCreditOn && !m.HasCredit {
 		m.Credit, m.HasCredit = c.pendCredit, true
+		m.CreditChan = c.id
 		c.pendCreditOn = false
 		c.ctrlPiggy.Add(1)
+		if ln != nil {
+			ln.ctrlPiggyL++
+		}
 		c.flow.creditSent(c.pendCredit)
 	}
-	if n := len(c.pendAcks); n > 0 {
+	if n := len(c.pendAcks); n > 0 && !m.HasAck {
 		m.Ack, m.HasAck = c.pendAcks[0], true
+		m.AckChan = c.id
 		copy(c.pendAcks, c.pendAcks[1:])
 		c.pendAcks = c.pendAcks[:n-1]
 		c.ctrlPiggy.Add(1)
+		if ln != nil {
+			ln.ctrlPiggyL++
+		}
+	}
+	if ln != nil && !c.pendCreditOn && len(c.pendAcks) == 0 {
+		ln.pendDropLocked(c)
 	}
 }
 
@@ -540,8 +709,8 @@ func (c *Channel) SendTagged(t *Thread, tag, toThread int, data []byte) {
 	if t.proc != c.p {
 		panic("core: thread sending on another process's channel")
 	}
-	if c.ln != nil {
-		c.ln.send(c, t, tag, toThread, data)
+	if c.lnp.Load() != nil {
+		c.laneSend(t, tag, toThread, data)
 		return
 	}
 	m := c.p.getDataMsg()

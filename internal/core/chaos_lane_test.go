@@ -99,7 +99,7 @@ func TestShardedPriorityChaosDispatch(t *testing.T) {
 	high0 := procs[0].Open(1, ChannelConfig{ID: 2, Priority: 7, Lane: 2})
 	low1 := procs[1].Open(0, ChannelConfig{ID: 1, Priority: 0, Lane: 2})
 	high1 := procs[1].Open(0, ChannelConfig{ID: 2, Priority: 7, Lane: 2})
-	if low0.ln != high0.ln {
+	if low0.laneOf() != high0.laneOf() {
 		t.Fatal("test setup: channels must share a lane")
 	}
 
@@ -114,8 +114,7 @@ func TestShardedPriorityChaosDispatch(t *testing.T) {
 		th.Recv(Any, Any)
 		// Stage low first, then high, then service once — the staging
 		// shape of the fan-out and retransmission paths.
-		ln := low0.ln
-		ln.mu.Lock()
+		ln := low0.lockLane()
 		for toThread, c := range []*Channel{low0, high0} {
 			m := ln.getDataMsg()
 			m.From = 0

@@ -397,8 +397,7 @@ func (g *Group) fanSendSharded(t *Thread, tag int, idxs []int, datas [][]byte, s
 	lanes := g.laneScratch[:0]
 	for pos, ki := range idxs {
 		c := g.chans[ki]
-		ln := c.ln
-		ln.mu.Lock()
+		ln := c.lockLane()
 		if c.closed {
 			ln.mu.Unlock()
 			panic(fmt.Sprintf("core(proc %d): group send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
@@ -419,6 +418,9 @@ func (g *Group) fanSendSharded(t *Thread, tag int, idxs []int, datas [][]byte, s
 		req.m = m
 		req.ch = c
 		req.fan = t
+		cost := int64(wire.HeaderSize + len(m.Data))
+		c.loadAcc.Add(cost)
+		ln.loadAcc.Add(cost)
 		ln.pending.push(c.priority, req)
 		ln.mu.Unlock()
 		seen := false

@@ -31,6 +31,34 @@
 // The transport underneath decides the tier: the simulated or real TCP path
 // gives the Normal Speed Mode (Approach 1, what the paper benchmarks); the
 // ATM-API path (internal/nic) gives the High Speed Mode (Approach 2).
+//
+// # Threading model
+//
+// With Config.SendLanes/RecvLanes = 1 (the GOMAXPROCS=1 default) the
+// process runs the paper's exact model: one send and one receive system
+// thread at top priority, strict 9-level priority across channels,
+// per-channel flush timers. At lane counts above one the pair shards into
+// per-lane engines (lane.go), and each lane engine is an adaptive
+// scheduler:
+//
+//   - Deficit round robin across the lane's data channels (drr.go):
+//     ChannelConfig.Weight (default priority+1) × 2 KB of service per
+//     round, control strictly above all data, higher priority still
+//     preempting within the round — bounding starvation instead of
+//     permitting it.
+//   - Lane-aware control coalescing (lane.go): an expiring CtrlFlushDelay
+//     window first tries to ride a sibling channel's queued or imminent
+//     data frame toward the same peer, and flush timers share one
+//     per-lane wheel instead of one timer per channel.
+//   - Hot-lane rebalancing (rebalance.go): per-lane load EWMAs drive a
+//     periodic tick (Config.RebalanceInterval; negative disables) that
+//     migrates idle-safe sequenced channels from the hottest lane to the
+//     coldest, plus an enqueue-time steal under extreme skew.
+//     Config.LaneHash overrides initial placement; ChannelConfig.Lane
+//     pins a channel immovably.
+//
+// Proc.LaneStats reports the per-lane view: piggyback share, coalesced
+// control words, DRR rounds, migrations, and steals.
 package core
 
 import (
@@ -40,6 +68,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/list"
 	"repro/internal/mts"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -123,6 +152,18 @@ type Config struct {
 	// virtual-time machinery is scheduler-domain by construction).
 	SendLanes int
 	RecvLanes int
+	// RebalanceInterval is the hot-lane rebalancer's scan period (sharded
+	// mode only): every interval the proc compares per-lane load EWMAs and
+	// migrates one idle-safe channel from the hottest lane to the coldest.
+	// 0 selects DefaultRebalanceInterval; negative disables rebalancing
+	// (channels stay on their hash- or pin-assigned lane forever).
+	RebalanceInterval time.Duration
+	// LaneHash overrides the default peer→lane placement hash (sharded
+	// mode only): a channel with no explicit ChannelConfig.Lane lands on
+	// lane LaneHash(peer) mod lane count. Benchmarks use it to reproduce
+	// skewed placements; channels placed through it remain migratable by
+	// the rebalancer (unlike explicit pins).
+	LaneHash func(ProcID) int
 }
 
 // sendReq is one queued transfer for the send system thread.
@@ -210,6 +251,21 @@ type Proc struct {
 	// ctrlFlush is the resolved CtrlFlushDelay.
 	ctrlFlush time.Duration
 
+	// Classic-mode flush wheel: one timer covers every channel whose
+	// piggyback window is running (sharded lanes each carry their own, see
+	// lane.go). flushTimers counts armed flush timers process-wide in both
+	// modes — the per-lane-wheel invariant a test asserts.
+	flushQ      list.FIFO[*Channel]
+	wheelOn     bool
+	wheelFn     func()
+	flushTimers atomic.Int64
+
+	// Hot-lane rebalancer (sharded mode; see rebalance.go): rebalEvery is
+	// the resolved RebalanceInterval (0 = disabled), rebalTick the tick
+	// counter migration cooldowns compare against.
+	rebalEvery time.Duration
+	rebalTick  atomic.Int64
+
 	// channels holds every open channel, keyed by (peer, channel ID).
 	// Default channels (ID 0) are created lazily from the Config
 	// templates; explicit channels come from Open. chanMu guards the map
@@ -265,6 +321,13 @@ func New(cfg Config) *Proc {
 	if p.ctrlFlush == 0 {
 		p.ctrlFlush = DefaultCtrlFlushDelay
 	}
+	p.wheelFn = p.wheelFire
+	p.rebalEvery = cfg.RebalanceInterval
+	if p.rebalEvery == 0 {
+		p.rebalEvery = DefaultRebalanceInterval
+	} else if p.rebalEvery < 0 {
+		p.rebalEvery = 0
+	}
 	p.channels = make(map[chanKey]*Channel)
 	p.onException = func(err error) {
 		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
@@ -281,6 +344,7 @@ func New(cfg Config) *Proc {
 	fc, frames := cfg.Endpoint.(transport.FrameCarrier)
 	if lanes > 1 && frames && cfg.RecvCharge == nil && cfg.ArrivalPollDelay == nil && !customAfter {
 		p.initLanes(lanes, fc)
+		p.startRebalance()
 		return p
 	}
 
@@ -394,8 +458,7 @@ func (p *Proc) userDone() {
 		}
 		p.chanMu.RUnlock()
 		for _, c := range chans {
-			ln := c.ln
-			ln.mu.Lock()
+			ln := c.lockLane()
 			c.flushCtrl()
 			c.flow.shutdown()
 			c.errc.shutdown()
@@ -501,8 +564,8 @@ func (t *Thread) SendTagged(tag int, toThread int, toProc ProcID, data []byte) {
 	}
 	p := t.proc
 	c := p.DefaultChannel(toProc)
-	if c.ln != nil {
-		c.ln.send(c, t, tag, toThread, data)
+	if c.lnp.Load() != nil {
+		c.laneSend(t, tag, toThread, data)
 		return
 	}
 	m := p.getDataMsg()
@@ -560,13 +623,13 @@ func (p *Proc) failGated(c *Channel, reqs []*sendReq, gate string) {
 	if len(reqs) == 0 {
 		return
 	}
-	if c.ln != nil {
+	if ln := c.lnp.Load(); ln != nil {
 		// Lane domain: recycle under the held lane lock, defer wakeups and
 		// the exception to the drain.
 		for _, req := range reqs {
-			c.ln.failSendLocked(req)
+			ln.failSendLocked(req)
 		}
-		c.ln.errs = append(c.ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
+		ln.errs = append(ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
 		return
 	}
 	for _, req := range reqs {
@@ -593,13 +656,15 @@ func (p *Proc) enqueueSend(req *sendReq) {
 	if req.m.Tag >= 0 && req.ch != nil {
 		level = req.ch.priority
 	}
-	if req.ch != nil && req.ch.ln != nil {
-		// Sharded: the caller (a discipline releasing a deferred request,
-		// a retransmission timer) already holds the channel's lane lock;
-		// the request joins the lane's queue and is serviced by whoever
-		// completes the current lane entry (see lane.go).
-		req.ch.ln.pending.push(level, req)
-		return
+	if req.ch != nil {
+		if ln := req.ch.lnp.Load(); ln != nil {
+			// Sharded: the caller (a discipline releasing a deferred
+			// request, a retransmission timer) already holds the channel's
+			// lane lock; the request joins the lane's queue and is serviced
+			// by whoever completes the current lane entry (see lane.go).
+			ln.pending.push(level, req)
+			return
+		}
 	}
 	p.sendQ.push(level, req)
 	p.wakeIfIdle(p.sendThread, "send idle")
@@ -636,8 +701,7 @@ func (p *Proc) sendCtrlVec(to ProcID, ch ChannelID, tag int, words []uint32) {
 	if p.sharded() {
 		// Scheduler-domain control toward a peer (barrier arrivals and
 		// releases): route through the peer's default-channel lane.
-		ln := p.DefaultChannel(to).ln
-		ln.mu.Lock()
+		ln := p.DefaultChannel(to).lockLane()
 		m := ln.getCtrlMsg()
 		m.From = p.cfg.ID
 		m.To = to
@@ -1021,12 +1085,26 @@ func (p *Proc) recvLoop(rt *mts.Thread) {
 		// peer's receiver-role state for this channel and stays valid
 		// whether this data copy turns out fresh, duplicate, or addressed
 		// to a closed channel (standalone control on closed channels is
-		// consumed too, and both words are supersede-safe).
+		// consumed too, and both words are supersede-safe). A sharded peer
+		// may have coalesced a *sibling* channel's word onto this frame;
+		// the word's stamped channel routes it.
 		if m.HasCredit {
-			c.flow.onCredit(m.Credit)
+			cc := c
+			if m.CreditChan != m.Channel {
+				cc, _ = p.lookupChannel(m.From, m.CreditChan)
+			}
+			if cc != nil {
+				cc.flow.onCredit(m.Credit)
+			}
 		}
 		if m.HasAck {
-			c.errc.onAck(m.Ack)
+			ca := c
+			if m.AckChan != m.Channel {
+				ca, _ = p.lookupChannel(m.From, m.AckChan)
+			}
+			if ca != nil {
+				ca.errc.onAck(m.Ack)
+			}
 		}
 		if c.closed {
 			// This end tore the channel down; without teardown signaling

@@ -43,6 +43,16 @@ type ErrorControl interface {
 	// pending reports in-flight messages still awaiting acknowledgement;
 	// the process's system threads stay alive while it is non-zero.
 	pending() int
+	// queued reports admission-deferred requests the discipline is holding
+	// — data that will re-emerge, which the flush wheel treats as an
+	// imminent piggyback ride.
+	queued() int
+	// sequenced reports whether the discipline stamps and checks sequence
+	// numbers on data. The hot-lane rebalancer migrates only sequenced
+	// channels: a frame racing the lane handoff may be re-ordered, which a
+	// sequenced receiver repairs (duplicate/gap handling) but an
+	// unsequenced one would deliver out of order.
+	sequenced() bool
 	// shutdown fails admission-deferred requests (their callers unblock)
 	// but leaves the in-flight window draining: already-admitted data
 	// still flushes, timers and all. Idempotent.
@@ -61,6 +71,8 @@ func (NoErrorControl) onData(*transport.Message) bool { return true }
 func (NoErrorControl) onControl(*transport.Message)   {}
 func (NoErrorControl) onAck(uint32)                   {}
 func (NoErrorControl) pending() int                   { return 0 }
+func (NoErrorControl) queued() int                    { return 0 }
+func (NoErrorControl) sequenced() bool                { return false }
 func (NoErrorControl) shutdown()                      {}
 
 // GoBackN is sliding-window ARQ with cumulative acks and a retransmission
@@ -268,7 +280,9 @@ func (g *GoBackN) releaseDeferred() {
 	}
 }
 
-func (g *GoBackN) pending() int { return len(g.unacked) }
+func (g *GoBackN) pending() int    { return len(g.unacked) }
+func (g *GoBackN) queued() int     { return len(g.deferred) }
+func (g *GoBackN) sequenced() bool { return true }
 
 // shutdown fails deferred requests so a Send gated on window space cannot
 // hang across Channel.Close. The unacked window keeps retransmitting —

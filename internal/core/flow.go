@@ -45,6 +45,10 @@ type FlowControl interface {
 	// actually left (piggybacked or flushed standalone), so threshold
 	// bookkeeping tracks what the peer has really been told.
 	creditSent(v uint32)
+	// queued reports how many requests the discipline is holding deferred —
+	// data the lane knows will re-emerge, which the flush wheel treats as
+	// an imminent piggyback ride.
+	queued() int
 	// shutdown tears the discipline down: timers stop and requests still
 	// gated inside it fail (their callers unblock; the proc's exception
 	// handler reports them). Runs at Channel.Close and at process close;
@@ -65,6 +69,7 @@ func (NoFlowControl) onDelivered(*transport.Message) {}
 func (NoFlowControl) onControl(*transport.Message)   {}
 func (NoFlowControl) onCredit(uint32)                {}
 func (NoFlowControl) creditSent(uint32)              {}
+func (NoFlowControl) queued() int                    { return 0 }
 func (NoFlowControl) shutdown()                      {}
 
 // DefaultWindowSyncInterval is the period of WindowFlow's window-sync
@@ -220,9 +225,23 @@ func (w *WindowFlow) onDelivered(m *transport.Message) {
 // advertise flushes the cumulative delivered count to the sender
 // immediately. Absolute, not incremental: losing this frame costs nothing
 // once any later one (or a sync tick's re-advertisement) gets through.
+// On a sharded lane "immediately" means at the end of the current service
+// pass: a data frame queued toward the peer in the same pass carries the
+// advertisement for free (the cross-channel coalescing that keeps the
+// piggyback share high at lane counts above one), and only a count still
+// pending after the pass goes standalone. Classically the standalone
+// frame flushes right here, as before.
 func (w *WindowFlow) advertise() {
 	w.c.pendCredit = w.delivered
 	w.c.pendCreditOn = true
+	if ln := w.c.laneOf(); ln != nil {
+		ln.pendAddLocked(w.c)
+		if !w.c.mustFlushOn {
+			w.c.mustFlushOn = true
+			ln.mustFlush = append(ln.mustFlush, w.c)
+		}
+		return
+	}
 	w.c.flushCtrl()
 }
 
@@ -282,6 +301,8 @@ func (w *WindowFlow) syncFire() {
 	w.advertise()
 	w.armSync()
 }
+
+func (w *WindowFlow) queued() int { return w.deferred.Size() }
 
 func (w *WindowFlow) shutdown() {
 	if w.closed {
@@ -443,6 +464,7 @@ func (r *RateFlow) onDelivered(*transport.Message) {}
 func (r *RateFlow) onControl(*transport.Message)   {}
 func (r *RateFlow) onCredit(uint32)                {}
 func (r *RateFlow) creditSent(uint32)              {}
+func (r *RateFlow) queued() int                    { return r.deferred.Size() }
 
 func (r *RateFlow) shutdown() {
 	if r.closed {

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/list"
 	"repro/internal/mts"
 	"repro/internal/ring"
 	"repro/internal/trace"
@@ -46,10 +49,16 @@ import (
 
 // rxItem is one arriving message routed to a lane: the decoded frame plus
 // its channel, resolved in the *sender's* goroutine so the engine never
-// touches the channel table.
+// touches the channel table. cc/ca name the channels a cross-channel
+// piggybacked credit/ack word belongs to when that differs from the
+// frame's own channel (lane-aware coalescing); fn, when set, is an
+// engine-posted function (hot-lane rebalancing) the engine runs outside
+// its lock after the batch it arrived in.
 type rxItem struct {
-	m *transport.Message
-	c *Channel // nil for barrier control and unknown-channel traffic
+	m      *transport.Message
+	c      *Channel // nil for barrier control and unknown-channel traffic
+	cc, ca *Channel // cross-channel credit / ack targets (usually nil)
+	fn     func()   // engine-posted work (migration); m and c are nil
 }
 
 // lane is one send/recv engine shard.
@@ -66,10 +75,50 @@ type lane struct {
 	// flags).
 	mu sync.Mutex
 
-	// pending is the lane's send priority queue (the classic sendQ,
-	// sharded); rxq is its receive priority queue (the classic rxIn).
-	pending prioQueue[*sendReq]
+	// pending is the lane's send scheduler — control strictly first, then
+	// deficit round robin across the lane's data channels (see drr.go);
+	// rxq is its receive priority queue (the classic rxIn).
+	pending laneSched
 	rxq     prioQueue[rxItem]
+
+	// chans lists every channel currently served by this lane (membership
+	// moves with the rebalancer, under both lane locks).
+	chans []*Channel
+
+	// pendCtrl indexes this lane's channels with pending reverse-direction
+	// control by peer, so a departing data frame can pick a sibling
+	// channel's credit/ack up (cross-channel coalescing). mustFlush queues
+	// forced advertisements (window-threshold credits) for the end of the
+	// current service pass: a data frame queued in the same pass carries
+	// them for free, anything still pending then goes standalone.
+	pendCtrl  map[ProcID][]*Channel
+	mustFlush []*Channel
+
+	// flushQ is the lane's flush wheel: channels whose piggyback window is
+	// running, in deadline order (the delay is constant), covered by one
+	// armed timer (wheelOn) for the head deadline.
+	flushQ  list.FIFO[*Channel]
+	wheelOn bool
+	wheelFn func()
+
+	// Adaptive-scheduler counters (under mu; LaneStats snapshots them).
+	ctrlPiggyL      int64
+	ctrlStandaloneL int64
+	ctrlCoalescedL  int64
+	migratedIn      int64
+	migratedOut     int64
+	steals          int64
+
+	// Load tracking for the hot-lane rebalancer: loadAcc accumulates
+	// enqueued bytes since the last rebalance tick (atomic — senders add
+	// before taking the lane lock), ewma is the tick-smoothed load the
+	// rebalancer compares lanes by.
+	loadAcc atomic.Int64
+	ewma    atomic.Int64
+
+	// fnScratch batches engine-posted functions out of a drained ring
+	// batch (engine goroutine only).
+	fnScratch []func()
 
 	// Per-lane freelists: the classic proc-level pools, sharded so lanes
 	// never contend on recycling.
@@ -164,11 +213,19 @@ func (p *Proc) Lanes() int {
 }
 
 // laneIndex picks the lane for a channel: an explicit ChannelConfig.Lane
-// pins it (1-based, wrapped), otherwise the peer hash spreads channels so
-// traffic to different peers lands on different lanes.
+// pins it (1-based, wrapped), otherwise Config.LaneHash (when set) or the
+// peer hash spreads channels so traffic to different peers lands on
+// different lanes.
 func (p *Proc) laneIndex(peer ProcID, hint int) int {
 	if hint > 0 {
 		return (hint - 1) % len(p.lanes)
+	}
+	if p.cfg.LaneHash != nil {
+		i := p.cfg.LaneHash(peer) % len(p.lanes)
+		if i < 0 {
+			i += len(p.lanes)
+		}
+		return i
 	}
 	return int(uint32(peer)) % len(p.lanes)
 }
@@ -182,6 +239,8 @@ func (p *Proc) initLanes(n int, fc transport.FrameCarrier) {
 	for i := range p.lanes {
 		ln := &lane{p: p, idx: i, rx: ring.New[rxItem]()}
 		ln.drainFn = ln.runDrain
+		ln.wheelFn = ln.wheelFire
+		ln.pendCtrl = make(map[ProcID][]*Channel)
 		if p.cfg.Tracer != nil {
 			ln.traceName = fmt.Sprintf("%s/lane%d", p.cfg.TraceName, i)
 		}
@@ -201,23 +260,32 @@ func (p *Proc) initLanes(n int, fc transport.FrameCarrier) {
 }
 
 // routeFrame is the transport's frame handler: it decodes the frame and
-// resolves its channel in the *calling* goroutine (a peer's lane engine or
-// scheduler thread), then hands the message to the owning lane's ring. The
-// engine itself therefore never takes the channel-table lock.
+// resolves its channel — and the channels of any cross-channel
+// piggybacked control words — in the *calling* goroutine (a peer's lane
+// engine or scheduler thread), then hands the message to the owning
+// lane's ring. The engine itself therefore never takes the channel-table
+// lock. A channel may migrate between the load and the push; the stale
+// lane's processLocked re-routes such items to the current owner.
 func (p *Proc) routeFrame(fb *wire.Buf) {
 	m, err := wire.UnmarshalPooled(fb)
 	if err != nil {
 		panic("core: self-produced message failed to decode: " + err.Error())
 	}
-	var c *Channel
+	var c, cc, ca *Channel
 	if m.Tag != tagBarrier && m.Tag != tagBarrierRel {
 		c, _ = p.lookupChannel(m.From, m.Channel)
+		if m.HasCredit && m.CreditChan != m.Channel {
+			cc, _ = p.lookupChannel(m.From, m.CreditChan)
+		}
+		if m.HasAck && m.AckChan != m.Channel {
+			ca, _ = p.lookupChannel(m.From, m.AckChan)
+		}
 	}
 	ln := p.lanes[p.laneIndex(m.From, 0)]
 	if c != nil {
-		ln = c.ln
+		ln = c.lnp.Load()
 	}
-	ln.rx.Push(rxItem{m: m, c: c})
+	ln.rx.Push(rxItem{m: m, c: c, cc: cc, ca: ca})
 }
 
 // ---------------------------------------------------------------------------
@@ -248,9 +316,17 @@ func (ln *lane) engine() {
 			tr.Set(ln.traceName, trace.Comm)
 			tr.Mark(ln.traceName, fmt.Sprintf("q=%d", len(items)))
 		}
+		fns := ln.fnScratch[:0]
 		ln.mu.Lock()
 		for i := range items {
 			it := items[i]
+			if it.fn != nil {
+				// Engine-posted work (rebalancing) runs outside the lock,
+				// after the batch it arrived in.
+				fns = append(fns, it.fn)
+				items[i] = rxItem{}
+				continue
+			}
 			level := ctrlLevel
 			if it.m.Tag >= 0 && it.c != nil {
 				level = it.c.priority
@@ -265,6 +341,11 @@ func (ln *lane) engine() {
 		if post {
 			ln.p.cfg.RT.PostAsync(ln.drainFn)
 		}
+		for i, fn := range fns {
+			fn()
+			fns[i] = nil
+		}
+		ln.fnScratch = fns[:0]
 		// During shutdown the keeper thread parks until every lane is
 		// quiescent; a frame the engine just consumed (the peer's last
 		// ack or credit) may have been the very thing it was waiting out,
@@ -296,6 +377,17 @@ func (ln *lane) processLocked() {
 	for !ln.rxq.empty() {
 		it := ln.rxq.pop()
 		m, c := it.m, it.c
+		if c != nil && c.lnp.Load() != ln {
+			// The channel migrated after this item was routed; the stale
+			// lane must not touch its state. Forward to the current owner
+			// in pop order (FIFO within the channel is preserved for the
+			// forwarded items; the rebalancer only moves channels whose
+			// error control sequences data, so a frame racing the handoff
+			// is re-ordered at worst into a retransmission, never into a
+			// mis-ordered delivery).
+			c.lnp.Load().rx.Push(it)
+			continue
+		}
 		if m.Tag < 0 {
 			switch m.Tag {
 			case tagFlowAck, tagGBNAck:
@@ -325,10 +417,18 @@ func (ln *lane) processLocked() {
 			continue
 		}
 		if m.HasCredit {
-			c.flow.onCredit(m.Credit)
+			if it.cc != nil {
+				ln.applyCrossLocked(it.cc, tagFlowAck, m.Credit)
+			} else {
+				c.flow.onCredit(m.Credit)
+			}
 		}
 		if m.HasAck {
-			c.errc.onAck(m.Ack)
+			if it.ca != nil {
+				ln.applyCrossLocked(it.ca, tagGBNAck, m.Ack)
+			} else {
+				c.errc.onAck(m.Ack)
+			}
 		}
 		if c.closed {
 			ln.errs = append(ln.errs, fmt.Errorf("data on closed channel %d from proc %d", m.Channel, m.From))
@@ -360,45 +460,261 @@ func (ln *lane) requeueRxLocked(c *Channel, flushed []*transport.Message) {
 // ---------------------------------------------------------------------------
 // Sending
 
-// serviceLocked is the sharded sendLoop body: drain the lane's pending
-// queue highest level first through admission, piggyback attachment, and
-// same-destination batching. Unlike the classic loop it runs inline in
-// whatever context fed the queue — a sending thread, the engine, a timer —
-// so an uncontended send completes with no context switch at all.
+// serviceLocked is the sharded sendLoop body: drain the lane's send
+// scheduler (control first, then DRR across channels) through admission,
+// piggyback attachment, cross-channel coalescing, and same-destination
+// batching. Unlike the classic loop it runs inline in whatever context fed
+// the queue — a sending thread, the engine, a timer — so an uncontended
+// send completes with no context switch at all. Forced credit
+// advertisements queued by the flow tier (mustFlush) are resolved at the
+// end of the pass: a data frame serviced in the same pass carries them for
+// free, anything still pending goes standalone.
 func (ln *lane) serviceLocked() {
 	p := ln.p
 	run := ln.sendRun[:0]
-	for !ln.pending.empty() {
-		req := ln.pending.pop()
-		if req.m.Tag >= 0 && !req.raw {
-			if req.ch.closed {
-				ch, to := req.m.Channel, req.m.To
-				ln.failSendLocked(req)
-				ln.errs = append(ln.errs, fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
-				continue
-			}
-			if !req.flowOK {
-				if !req.ch.flow.admit(req) {
+	for {
+		for !ln.pending.empty() {
+			req := ln.pending.pop()
+			if req.m.Tag >= 0 && !req.raw {
+				if req.ch.closed {
+					ch, to := req.m.Channel, req.m.To
+					ln.failSendLocked(req)
+					ln.errs = append(ln.errs, fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
 					continue
 				}
-				req.flowOK = true
+				if !req.flowOK {
+					if !req.ch.flow.admit(req) {
+						continue
+					}
+					req.flowOK = true
+				}
+				if !req.ch.errc.admit(req) {
+					continue
+				}
 			}
-			if !req.ch.errc.admit(req) {
-				continue
+			if req.m.Tag >= 0 && req.ch != nil {
+				req.ch.attachPiggy(req.m)
+				ln.attachCrossLocked(req.ch, req.m)
+			}
+			if len(run) > 0 && (req.m.To != run[len(run)-1].m.To || len(run) >= maxSendBurst) {
+				run = ln.flushRunLocked(run)
+			}
+			run = append(run, req)
+			if p.laneBS == nil {
+				run = ln.flushRunLocked(run)
 			}
 		}
-		if req.m.Tag >= 0 && req.ch != nil {
-			req.ch.attachPiggy(req.m)
+		if len(ln.mustFlush) == 0 {
+			break
 		}
-		if len(run) > 0 && (req.m.To != run[len(run)-1].m.To || len(run) >= maxSendBurst) {
-			run = ln.flushRunLocked(run)
+		mf := ln.mustFlush
+		ln.mustFlush = nil
+		for i, c := range mf {
+			c.mustFlushOn = false
+			if !c.closed && (c.pendCreditOn || len(c.pendAcks) > 0) {
+				// No data frame in this pass picked the forced
+				// advertisement up; it must go now (the peer's window is
+				// at its sync threshold).
+				c.flushCtrl()
+			}
+			mf[i] = nil
 		}
-		run = append(run, req)
-		if p.laneBS == nil {
-			run = ln.flushRunLocked(run)
+		if ln.mustFlush == nil {
+			ln.mustFlush = mf[:0]
 		}
 	}
 	ln.sendRun = ln.flushRunLocked(run)
+}
+
+// attachCrossLocked fills a departing data frame's free credit/ack slots
+// from *sibling* channels to the same peer that have control pending —
+// the lane-aware cross-channel coalescing that keeps the piggyback share
+// high when a peer's control and data flow on different channels. Each
+// word is stamped with its owning channel (one extra wire byte per
+// foreign word).
+func (ln *lane) attachCrossLocked(c *Channel, m *transport.Message) {
+	if m.HasCredit && m.HasAck {
+		return
+	}
+	sibs := ln.pendCtrl[c.peer]
+	for i := 0; i < len(sibs); {
+		if m.HasCredit && m.HasAck {
+			return
+		}
+		s := sibs[i]
+		if s == c || s.closed {
+			i++
+			continue
+		}
+		attached := false
+		if s.pendCreditOn && !m.HasCredit {
+			m.Credit, m.HasCredit = s.pendCredit, true
+			m.CreditChan = s.id
+			s.pendCreditOn = false
+			s.ctrlPiggy.Add(1)
+			s.ctrlCoalesced.Add(1)
+			ln.ctrlPiggyL++
+			ln.ctrlCoalescedL++
+			s.flow.creditSent(s.pendCredit)
+			attached = true
+		}
+		if n := len(s.pendAcks); n > 0 && !m.HasAck {
+			m.Ack, m.HasAck = s.pendAcks[0], true
+			m.AckChan = s.id
+			copy(s.pendAcks, s.pendAcks[1:])
+			s.pendAcks = s.pendAcks[:n-1]
+			s.ctrlPiggy.Add(1)
+			s.ctrlCoalesced.Add(1)
+			ln.ctrlPiggyL++
+			ln.ctrlCoalescedL++
+			attached = true
+		}
+		if attached {
+			ln.markDecision(s, "coalesce")
+		}
+		if !s.pendCreditOn && len(s.pendAcks) == 0 {
+			// Drained: pendDropLocked swap-removes s, moving the old tail
+			// into slot i — re-read and revisit the slot.
+			ln.pendDropLocked(s)
+			sibs = ln.pendCtrl[c.peer]
+			continue
+		}
+		i++
+	}
+}
+
+// applyCrossLocked delivers a cross-channel piggybacked control word to
+// its owning channel: inline when that channel lives on this lane,
+// otherwise as a synthetic standalone control message forwarded to the
+// owner's ring (rare — an explicit cross-lane pin or a migration window,
+// so the allocation stays off the steady-state hot path).
+func (ln *lane) applyCrossLocked(t *Channel, tag int, v uint32) {
+	if t.lnp.Load() == ln {
+		if tag == tagFlowAck {
+			t.flow.onCredit(v)
+		} else {
+			t.errc.onAck(v)
+		}
+		return
+	}
+	m := &transport.Message{
+		From: t.peer, To: ln.p.cfg.ID, Channel: t.id, Tag: tag,
+		Data: wire.AppendUint32(nil, v),
+	}
+	t.lnp.Load().rx.Push(rxItem{m: m, c: t})
+}
+
+// ---------------------------------------------------------------------------
+// Pending-control index and flush wheel
+
+// pendAddLocked files c in the lane's pending-control index (by peer) so
+// departing data frames can find its credit/ack.
+func (ln *lane) pendAddLocked(c *Channel) {
+	if c.inPend {
+		return
+	}
+	c.inPend = true
+	ln.pendCtrl[c.peer] = append(ln.pendCtrl[c.peer], c)
+}
+
+// pendDropLocked removes c from the pending-control index once nothing is
+// pending (swap-remove; order within a peer's list is not meaningful).
+func (ln *lane) pendDropLocked(c *Channel) {
+	c.flushDeferred = false
+	if !c.inPend {
+		return
+	}
+	c.inPend = false
+	s := ln.pendCtrl[c.peer]
+	for i, x := range s {
+		if x == c {
+			s[i] = s[len(s)-1]
+			s[len(s)-1] = nil
+			ln.pendCtrl[c.peer] = s[:len(s)-1]
+			break
+		}
+	}
+}
+
+// rideImminentLocked reports whether a data frame toward c's peer is
+// queued or imminent on this lane — a frame the channel's pending control
+// could ride instead of flushing standalone: queued sends awaiting
+// service, sends parked inside a flow window or error-control tier that
+// will re-emerge shortly.
+func (ln *lane) rideImminentLocked(c *Channel) bool {
+	sibs := ln.chans
+	for _, s := range sibs {
+		if s.peer != c.peer || s.closed {
+			continue
+		}
+		if s.sq.Size() > 0 || s.flow.queued() > 0 || s.errc.queued() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// armWheelLocked schedules the lane's flush wheel for its head deadline.
+// Entries enter with a constant delay, so the queue is in deadline order
+// and one armed timer covers every waiting channel on the lane.
+func (ln *lane) armWheelLocked() {
+	if ln.wheelOn || ln.flushQ.Size() == 0 {
+		return
+	}
+	d := ln.flushQ.Peek().flushAt - time.Duration(ln.p.cfg.RT.Now())
+	if d < 0 {
+		d = 0
+	}
+	ln.wheelOn = true
+	ln.p.flushTimers.Add(1)
+	ln.p.cfg.After(d, ln.wheelFn)
+}
+
+// wheelFire is the lane flush wheel (scheduler domain, via Config.After):
+// for every channel whose piggyback window expired, either flush its
+// control standalone or — if a same-peer data frame is imminent on the
+// lane — defer one extra window to ride it (bounded: the second expiry
+// always flushes).
+func (ln *lane) wheelFire() {
+	ln.p.flushTimers.Add(-1)
+	ln.mu.Lock()
+	ln.wheelOn = false
+	now := time.Duration(ln.p.cfg.RT.Now())
+	for ln.flushQ.Size() > 0 && ln.flushQ.Peek().flushAt <= now {
+		c := ln.flushQ.Pop()
+		c.flushOn = false
+		if c.closed {
+			ln.pendDropLocked(c)
+			continue
+		}
+		if !c.pendCreditOn && len(c.pendAcks) == 0 {
+			// A data frame carried everything while the window ran.
+			ln.pendDropLocked(c)
+			continue
+		}
+		if !c.flushDeferred && ln.rideImminentLocked(c) {
+			c.flushDeferred = true
+			c.flushOn = true
+			c.flushAt = now + ln.p.ctrlFlush
+			ln.flushQ.Push(c)
+			ln.markDecision(c, "ctrl-defer")
+			continue
+		}
+		c.flushDeferred = false
+		c.flushCtrl()
+	}
+	ln.armWheelLocked()
+	ln.serviceLocked()
+	ln.mu.Unlock()
+	ln.runDrain()
+}
+
+// markDecision emits a scheduler-decision mark ("coalesce", "ctrl-defer",
+// "migrate") on the lane's trace timeline.
+func (ln *lane) markDecision(c *Channel, kind string) {
+	if tr := ln.p.cfg.Tracer; tr != nil {
+		tr.Mark(ln.traceName, kind+" "+c.lane)
+	}
 }
 
 // flushRunLocked hands one same-destination run to the carrier and
@@ -475,18 +791,24 @@ func (ln *lane) failSendLocked(req *sendReq) {
 	}
 }
 
-// send is the sharded Thread.Send/Channel.Send body: build the message and
-// request from the lane's freelists, enqueue, and service the lane inline.
-// If the request flushed during the inline service (the common, uncongested
-// case) the thread never parks — the send completes in the caller's own
-// time slice, which is where the single-core speedup over the classic
-// park/dispatch/park cycle comes from. If a discipline deferred it, the
-// thread parks and the eventual flush (engine or timer) wakes it through
-// the drain.
-func (ln *lane) send(c *Channel, t *Thread, tag, toThread int, data []byte) {
-	p := ln.p
+// laneSend is the sharded Thread.Send/Channel.Send body: build the message
+// and request from the lane's freelists, enqueue, and service the lane
+// inline. If the request flushed during the inline service (the common,
+// uncongested case) the thread never parks — the send completes in the
+// caller's own time slice, which is where the single-core speedup over the
+// classic park/dispatch/park cycle comes from. If a discipline deferred
+// it, the thread parks and the eventual flush (engine or timer) wakes it
+// through the drain.
+func (c *Channel) laneSend(t *Thread, tag, toThread int, data []byte) {
+	p := c.p
 	p.traceThread(t, trace.Idle)
-	ln.mu.Lock()
+	cost := int64(wire.HeaderSize + len(data))
+	c.loadAcc.Add(cost)
+	if p.rebalEvery > 0 && c.sent.Load()&63 == 0 {
+		c.maybeSteal()
+	}
+	ln := c.lockLane()
+	ln.loadAcc.Add(cost)
 	if c.closed {
 		ln.mu.Unlock()
 		panic(fmt.Sprintf("core(proc %d): send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
@@ -619,9 +941,9 @@ func (p *Proc) mayShutdownSharded() bool {
 	}
 	p.chanMu.RUnlock()
 	for _, c := range chans {
-		c.ln.mu.Lock()
+		ln := c.lockLane()
 		pend := c.errc.pending()
-		c.ln.mu.Unlock()
+		ln.mu.Unlock()
 		if pend != 0 {
 			return false
 		}

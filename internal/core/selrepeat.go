@@ -236,6 +236,9 @@ func (s *SelectiveRepeat) pending() int {
 	return total
 }
 
+func (s *SelectiveRepeat) queued() int     { return len(s.deferred) }
+func (s *SelectiveRepeat) sequenced() bool { return true }
+
 // shutdown fails deferred requests so a Send gated on window space cannot
 // hang across Channel.Close; the in-flight window keeps retransmitting
 // until acked or abandoned, like GoBackN.
