@@ -14,6 +14,7 @@
 //	ncsbench -experiment atmapi       # E8: Approach 2 (HSM) vs Approach 1
 //	ncsbench -experiment wan          # extra: NYNET WAN (DS-3 trunk) sweep
 //	ncsbench -experiment mesh         # live channel mesh (-laneskew, -weights)
+//	ncsbench -experiment scale1k      # virtual-time scale sweep (-n, -seed)
 //
 // All table/figure numbers are produced by the virtual-time discrete-event
 // simulation described in DESIGN.md; absolute seconds are calibrated to the
@@ -38,6 +39,8 @@ func main() {
 	blockProfile := flag.String("blockprofile", "", "write a blocking profile to this file (ring sleeps, scheduler waits)")
 	laneSkew := flag.Bool("laneskew", false, "mesh: route every channel to lane 0 (the hot-lane worst case the rebalancer repairs)")
 	weights := flag.String("weights", "", "mesh: comma-separated DRR weights assigned round-robin to the channels (default priority+1)")
+	meshN := flag.Int("n", 1024, "scale1k: number of procs on the virtual-time event loop")
+	seed := flag.Int64("seed", 7, "scale1k: workload seed (same -n and -seed reproduce every timeline hash byte for byte)")
 	flag.Parse()
 
 	// Contention profiling for the sharded hot path: the lane engines
@@ -66,8 +69,9 @@ func main() {
 		"ablation": ablation,
 		"micro":    micro,
 		"mesh":     func() { mesh(*laneSkew, *weights) },
+		"scale1k":  func() { scale1k(*meshN, *seed) },
 	}
-	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig16", "atmapi", "wan", "ablation", "micro", "mesh"}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig16", "atmapi", "wan", "ablation", "micro", "mesh", "scale1k"}
 
 	if *experiment == "all" {
 		for _, name := range order {

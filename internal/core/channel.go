@@ -288,7 +288,7 @@ func (p *Proc) addChannel(key chanKey, prio, laneHint, weight int, fc FlowContro
 			post := ln.queueDrainLocked()
 			ln.mu.Unlock()
 			if post {
-				p.cfg.RT.PostAsync(ln.drainFn)
+				p.postScheduler(ln.drainFn)
 			}
 		} else {
 			fc.shutdown()

@@ -59,11 +59,34 @@
 //
 // Proc.LaneStats reports the per-lane view: piggyback share, coalesced
 // control words, DRR rounds, migrations, and steals.
+//
+// # Execution modes
+//
+// The lane engines run in one of two modes, selected per Proc:
+//
+//   - Real mode (default): each lane engine is a goroutine; timers are
+//     wall-clock (the rebalance ticker in clockseam.go — the package's one
+//     sanctioned wall-clock contact — and whatever Config.After supplies).
+//     This is what every live transport and benchmark uses.
+//   - Virtual mode (Config.VirtualTime, requires Config.After): the same
+//     lane code runs as event callbacks on a discrete-event engine's clock
+//     — no lane goroutines at all. Events and the threads they dispatch
+//     execute strictly one at a time in the engine's goroutine, ordered by
+//     the event queue's (time, seq) heap, so a run is deterministic: the
+//     same workload and seed reproduce the timeline byte for byte. Code in
+//     this package must therefore never let ordering depend on Go map
+//     iteration or goroutine scheduling (see Proc.channelsOrdered).
+//
+// NewVirtualMesh builds the standard virtual-mode arrangement — N procs on
+// one engine over a frame-granular fabric — and TimelineHash fingerprints
+// a run for determinism assertions. The seam between the modes is
+// engineDriver in lane.go.
 package core
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +142,15 @@ type Config struct {
 	// and rate timers use it. Defaults to RT.After (real time). Sim
 	// harnesses must pass the engine's virtual timer.
 	After func(d time.Duration, fn func())
+	// VirtualTime declares that the proc executes on a discrete-event loop:
+	// After is the simulation engine's virtual timer and every internal
+	// engine (lane steps, the rebalancer tick, drain hand-offs) must ride
+	// it as clock events instead of goroutines, tickers, or PostAsync.
+	// This is what lets the sharded lane hot path run under a sim harness —
+	// N procs on one shared clock with a deterministic timeline — instead
+	// of falling back to the classic two-thread path. Requires After;
+	// NewVirtualMesh sets both.
+	VirtualTime bool
 	// CtrlFlushDelay bounds how long a channel's pending reverse-direction
 	// control (cumulative credit advertisements, acks) may wait to
 	// piggyback on a data frame before a standalone control frame flushes
@@ -147,9 +179,10 @@ type Config struct {
 	// send/recv engine). A resolved count of 1 — always the case on a
 	// single-core GOMAXPROCS — keeps the paper's classic two-system-thread
 	// path exactly. Sharding also requires a transport.FrameCarrier
-	// endpoint and engages only in real mode (no RecvCharge,
-	// ArrivalPollDelay, or custom After hook — the simulation harnesses'
-	// virtual-time machinery is scheduler-domain by construction).
+	// endpoint and engages in real mode (no RecvCharge, ArrivalPollDelay,
+	// or custom After hook) or under a VirtualTime discrete-event loop;
+	// the classic sim harnesses' RecvCharge/poll machinery remains
+	// scheduler-domain by construction and keeps the classic path.
 	SendLanes int
 	RecvLanes int
 	// RebalanceInterval is the hot-lane rebalancer's scan period (sharded
@@ -281,7 +314,10 @@ type Proc struct {
 	started  bool
 
 	// Sharded hot path (lane.go); empty in the classic configuration.
+	// laneDriver is the execution seam: goroutine engines in real mode,
+	// vclock event callbacks in virtual mode.
 	lanes      []*lane
+	laneDriver engineDriver
 	laneThread *mts.Thread
 	laneStop   chan struct{}
 	laneWG     sync.WaitGroup
@@ -313,6 +349,9 @@ func New(cfg Config) *Proc {
 		cfg.Compute = work.Real()
 	}
 	customAfter := cfg.After != nil
+	if cfg.VirtualTime && !customAfter {
+		panic("core: VirtualTime requires Config.After (the engine's virtual timer)")
+	}
 	if cfg.After == nil {
 		cfg.After = cfg.RT.After
 	}
@@ -335,14 +374,17 @@ func New(cfg Config) *Proc {
 
 	// Sharded mode engages only when it can be transparent: more than one
 	// resolved lane, a frame-capable carrier, and none of the hooks that
-	// assume all protocol work happens in the scheduler domain (the
-	// simulation harnesses' virtual time, receive charging, arrival polls).
+	// assume all protocol work happens in the scheduler domain (receive
+	// charging, arrival polls). A custom After hook normally means a
+	// classic sim harness and keeps the two-thread path, unless the harness
+	// declares VirtualTime — then the lanes themselves run as events on
+	// that timer (see engineDriver in lane.go).
 	lanes := resolveLanes(cfg.SendLanes)
 	if r := resolveLanes(cfg.RecvLanes); r > lanes {
 		lanes = r
 	}
 	fc, frames := cfg.Endpoint.(transport.FrameCarrier)
-	if lanes > 1 && frames && cfg.RecvCharge == nil && cfg.ArrivalPollDelay == nil && !customAfter {
+	if lanes > 1 && frames && cfg.RecvCharge == nil && cfg.ArrivalPollDelay == nil && (!customAfter || cfg.VirtualTime) {
 		p.initLanes(lanes, fc)
 		p.startRebalance()
 		return p
@@ -451,13 +493,7 @@ func (p *Proc) userDone() {
 	}
 	p.closing.Store(true)
 	if p.sharded() {
-		p.chanMu.RLock()
-		chans := make([]*Channel, 0, len(p.channels))
-		for _, c := range p.channels {
-			chans = append(chans, c)
-		}
-		p.chanMu.RUnlock()
-		for _, c := range chans {
+		for _, c := range p.channelsOrdered() {
 			ln := c.lockLane()
 			c.flushCtrl()
 			c.flow.shutdown()
@@ -469,7 +505,7 @@ func (p *Proc) userDone() {
 		p.wakeIfIdle(p.laneThread, "lanes idle")
 		return
 	}
-	for _, c := range p.channels {
+	for _, c := range p.channelsOrdered() {
 		// Control still waiting for a piggyback ride must leave before
 		// the system threads may exit: the peer's sender role may be
 		// blocked on exactly this credit or ack, and the flush timer may
@@ -483,6 +519,40 @@ func (p *Proc) userDone() {
 	// notice closing when it next returns to its idle check.
 	p.wakeIfIdle(p.sendThread, "send idle")
 	p.wakeIfIdle(p.recvThread, "recv idle")
+}
+
+// postScheduler defers fn into the scheduler domain from a context that may
+// hold a lane lock. In real mode that is Runtime.PostAsync (runs between
+// dispatches); under a virtual-time loop nothing ever drains the PostAsync
+// queue — the sim engine only Dispatches — so fn becomes a zero-delay clock
+// event instead.
+func (p *Proc) postScheduler(fn func()) {
+	if p.cfg.VirtualTime {
+		p.cfg.After(0, fn)
+		return
+	}
+	p.cfg.RT.PostAsync(fn)
+}
+
+// channelsOrdered snapshots the channel table in (peer, id) order. Shutdown
+// walks channels through state-changing steps (flushCtrl, discipline
+// shutdown) whose relative order decides when each channel's last frames hit
+// the wire; iterating the map directly would make that order — and with it
+// the virtual-time timeline — depend on Go's randomized map iteration.
+func (p *Proc) channelsOrdered() []*Channel {
+	p.chanMu.RLock()
+	chans := make([]*Channel, 0, len(p.channels))
+	for _, c := range p.channels {
+		chans = append(chans, c)
+	}
+	p.chanMu.RUnlock()
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].peer != chans[j].peer {
+			return chans[i].peer < chans[j].peer
+		}
+		return chans[i].id < chans[j].id
+	})
+	return chans
 }
 
 func (p *Proc) wakeIfIdle(t *mts.Thread, idleReason string) {
@@ -515,7 +585,7 @@ func (p *Proc) checkShutdownWake() {
 		// the shutdown predicate itself takes lane locks, so evaluate it
 		// from the scheduler domain instead.
 		if p.closing.Load() {
-			p.cfg.RT.PostAsync(p.shutdownFn)
+			p.postScheduler(p.shutdownFn)
 		}
 		return
 	}

@@ -148,6 +148,74 @@ type lane struct {
 
 	drainFn   func()
 	traceName string
+
+	// Virtual-mode driver state (nil vd in real mode, where ring.Push wakes
+	// the engine goroutine directly): stepArmed collapses redundant kicks
+	// into one pending step event on the shared clock.
+	vd        *virtualDriver
+	stepFn    func()
+	stepArmed atomic.Bool
+}
+
+// ---------------------------------------------------------------------------
+// Engine drivers
+//
+// engineDriver is the seam between a lane's protocol logic and its execution
+// vehicle. Real mode (the default) runs each lane engine as a goroutine that
+// sleeps on its MPSC ring; virtual mode runs the same engine body as event
+// callbacks scheduled on the discrete-event loop's vclock heap, so a whole
+// mesh of procs shares one deterministic clock. The per-lane kick() is the
+// hot-path half of the seam: producers call it after every ring push, and it
+// compiles down to a single nil check in real mode.
+
+type engineDriver interface {
+	// start launches (real) or wires (virtual) one lane's engine.
+	start(ln *lane)
+	// stop tears the engines down at shutdown; runs in the scheduler domain.
+	stop(p *Proc)
+}
+
+// goroutineDriver is today's behavior: one engine goroutine per lane,
+// woken by ring pushes, stopped through laneStop.
+type goroutineDriver struct{}
+
+func (goroutineDriver) start(ln *lane) {
+	ln.p.laneWG.Add(1)
+	go ln.engine()
+}
+
+func (goroutineDriver) stop(p *Proc) {
+	close(p.laneStop)
+	p.laneWG.Wait()
+}
+
+// virtualDriver runs lane engines as events on the injected Clock: a kick
+// schedules one zero-delay step on the vclock heap, and the step body runs
+// in the simulation engine's single goroutine. No lane goroutines exist, so
+// every lane mutex is uncontended and execution order is fully determined
+// by the event queue's (time, seq) order — the determinism contract of
+// core.NewVirtualMesh.
+type virtualDriver struct {
+	after func(d time.Duration, fn func())
+}
+
+func (d *virtualDriver) start(ln *lane) {
+	ln.vd = d
+	ln.stepFn = ln.step
+}
+
+func (d *virtualDriver) stop(p *Proc) {
+	// Nothing to join: no goroutines were started, and a stale armed step
+	// firing after shutdown finds empty queues and does nothing.
+}
+
+// kick notifies the lane's driver that work entered the rx ring. Real mode
+// needs nothing — ring.Push already wakes the sleeping engine goroutine —
+// so this is one predictable branch on the hot path.
+func (ln *lane) kick() {
+	if ln.vd != nil && ln.stepArmed.CompareAndSwap(false, true) {
+		ln.vd.after(0, ln.stepFn)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -253,9 +321,13 @@ func (p *Proc) initLanes(n int, fc transport.FrameCarrier) {
 	}
 	fc.SetFrameHandler(p.routeFrame)
 	p.laneThread = p.cfg.RT.Create(fmt.Sprintf("ncs%d-lanes", p.cfg.ID), mts.PrioSystem, p.laneLoop)
-	p.laneWG.Add(n)
+	if p.cfg.VirtualTime {
+		p.laneDriver = &virtualDriver{after: p.cfg.After}
+	} else {
+		p.laneDriver = goroutineDriver{}
+	}
 	for _, ln := range p.lanes {
-		go ln.engine()
+		p.laneDriver.start(ln)
 	}
 }
 
@@ -286,6 +358,7 @@ func (p *Proc) routeFrame(fb *wire.Buf) {
 		ln = c.lnp.Load()
 	}
 	ln.rx.Push(rxItem{m: m, c: c, cc: cc, ca: ca})
+	ln.kick()
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +429,65 @@ func (ln *lane) engine() {
 	}
 }
 
+// step is the virtual-mode engine body: one event callback doing what one
+// wakeup of the engine goroutine does — drain the ring, process arrivals,
+// service the send scheduler — repeated until the ring is empty. It differs
+// from engine() in exactly the ways the discrete-event loop requires: it
+// runs in the simulation engine's goroutine (scheduler domain) at a definite
+// virtual instant, so the deferred out-queue drain runs inline instead of
+// through Runtime.PostAsync (which the sim engine never services), and the
+// closing-time shutdown re-check calls the predicate directly.
+func (ln *lane) step() {
+	ln.stepArmed.Store(false)
+	tr := ln.p.cfg.Tracer
+	worked := false
+	for {
+		items := ln.rx.Drain()
+		if len(items) == 0 {
+			break
+		}
+		worked = true
+		if tr != nil {
+			tr.Set(ln.traceName, trace.Comm)
+			tr.Mark(ln.traceName, fmt.Sprintf("q=%d", len(items)))
+		}
+		fns := ln.fnScratch[:0]
+		ln.mu.Lock()
+		for i := range items {
+			it := items[i]
+			if it.fn != nil {
+				fns = append(fns, it.fn)
+				items[i] = rxItem{}
+				continue
+			}
+			level := ctrlLevel
+			if it.m.Tag >= 0 && it.c != nil {
+				level = it.c.priority
+			}
+			ln.rxq.push(level, it)
+			items[i] = rxItem{}
+		}
+		ln.processLocked()
+		ln.serviceLocked()
+		post := ln.queueDrainLocked()
+		ln.mu.Unlock()
+		if post {
+			ln.runDrain()
+		}
+		for i, fn := range fns {
+			fn()
+			fns[i] = nil
+		}
+		ln.fnScratch = fns[:0]
+	}
+	if tr != nil && worked {
+		tr.Set(ln.traceName, trace.Idle)
+	}
+	if worked && ln.p.closing.Load() {
+		ln.p.shutdownFn()
+	}
+}
+
 // queueDrainLocked marks a drain as needed if the out-queues are non-empty;
 // the caller PostAsyncs drainFn exactly when it returns true.
 func (ln *lane) queueDrainLocked() bool {
@@ -385,7 +517,9 @@ func (ln *lane) processLocked() {
 			// error control sequences data, so a frame racing the handoff
 			// is re-ordered at worst into a retransmission, never into a
 			// mis-ordered delivery).
-			c.lnp.Load().rx.Push(it)
+			dst := c.lnp.Load()
+			dst.rx.Push(it)
+			dst.kick()
 			continue
 		}
 		if m.Tag < 0 {
@@ -601,7 +735,9 @@ func (ln *lane) applyCrossLocked(t *Channel, tag int, v uint32) {
 		From: t.peer, To: ln.p.cfg.ID, Channel: t.id, Tag: tag,
 		Data: wire.AppendUint32(nil, v),
 	}
-	t.lnp.Load().rx.Push(rxItem{m: m, c: t})
+	dst := t.lnp.Load()
+	dst.rx.Push(rxItem{m: m, c: t})
+	dst.kick()
 }
 
 // ---------------------------------------------------------------------------
@@ -962,14 +1098,13 @@ func (p *Proc) mayShutdownSharded() bool {
 // laneLoop is the lanes' shutdown supervisor: a system thread that parks
 // until the process may terminate, then stops the engines and performs the
 // final drain. It replaces the classic send/recv system threads' exit
-// paths (the lanes themselves are plain goroutines the mts scheduler never
-// sees).
+// paths (the lane engines themselves run outside the mts scheduler — as
+// plain goroutines in real mode, as clock events in virtual mode).
 func (p *Proc) laneLoop(st *mts.Thread) {
 	for !p.mayShutdownSharded() {
 		st.Park("lanes idle")
 	}
-	close(p.laneStop)
-	p.laneWG.Wait()
+	p.laneDriver.stop(p)
 	// Engines may have queued completions after their last scheduled
 	// drain ran (or for drains the exiting Run loop would never execute).
 	for _, ln := range p.lanes {

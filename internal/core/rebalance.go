@@ -48,30 +48,29 @@ const rebalMinGap = 8192
 // it may move again.
 const rebalCooldownTicks = 2
 
-// startRebalance starts the rebalance ticker on a sharded proc.
+// startRebalance starts the rebalance cadence on a sharded proc: a wall
+// ticker goroutine in real mode (clockseam.go), a self-rescheduling chain
+// of virtual-timer events under a discrete-event loop. The chain stops
+// re-arming once the process starts closing, so a finished simulation's
+// event queue drains instead of ticking forever.
 func (p *Proc) startRebalance() {
 	if p.rebalEvery <= 0 || len(p.lanes) < 2 {
 		p.rebalEvery = 0
 		return
 	}
-	go p.rebalanceLoop()
-}
-
-// rebalanceLoop drives rebalanceTick off one reusable ticker on its own
-// goroutine. The tick touches only atomics and the hot lane's MPSC ring —
-// nothing scheduler- or lane-domain — so it does not ride cfg.After,
-// whose one-shot timers would allocate every interval and show up in the
-// steady-state allocation pins. The goroutine exits on the first tick
-// after the process starts closing.
-func (p *Proc) rebalanceLoop() {
-	tk := time.NewTicker(p.rebalEvery)
-	defer tk.Stop()
-	for range tk.C {
-		if p.closing.Load() {
-			return
+	if p.cfg.VirtualTime {
+		var tick func()
+		tick = func() {
+			if p.closing.Load() {
+				return
+			}
+			p.rebalanceTick()
+			p.cfg.After(p.rebalEvery, tick)
 		}
-		p.rebalanceTick()
+		p.cfg.After(p.rebalEvery, tick)
+		return
 	}
+	go p.rebalanceLoop()
 }
 
 // rebalanceTick folds each lane's load accumulator into its EWMA and, if
@@ -95,6 +94,7 @@ func (p *Proc) rebalanceTick() {
 		dst := cold
 		src := hot
 		src.rx.Push(rxItem{fn: func() { src.migrateOne(dst, tick) }})
+		src.kick()
 	}
 }
 

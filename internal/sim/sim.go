@@ -39,13 +39,27 @@ type Engine struct {
 
 	// maxTime aborts runaway simulations; zero means unlimited.
 	maxTime vclock.Time
+
+	// hash and fired fingerprint the timeline: every popped event folds its
+	// firing time into an FNV-1a accumulator. Two runs with identical hashes
+	// executed the same number of events at the same virtual instants — the
+	// determinism contract virtual-mode harnesses assert against.
+	hash  uint64
+	fired uint64
 }
+
+// fnv64Offset/fnv64Prime are the FNV-1a parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
 
 // NewEngine returns an engine at virtual time zero.
 func NewEngine() *Engine {
 	return &Engine{
 		clock: vclock.NewVirtualClock(),
 		queue: vclock.NewEventQueue(),
+		hash:  fnv64Offset,
 	}
 }
 
@@ -194,9 +208,30 @@ func (e *Engine) Run() {
 			panic(fmt.Sprintf("sim: exceeded max simulated time %v\n%s",
 				time.Duration(e.maxTime), e.DumpState()))
 		}
+		e.recordFire(ev.Time())
 		e.clock.Advance(ev.Time())
 		ev.Fire()
 	}
+}
+
+// recordFire folds one fired event into the timeline fingerprint.
+func (e *Engine) recordFire(t vclock.Time) {
+	e.fired++
+	h := e.hash
+	v := uint64(t)
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnv64Prime
+	}
+	e.hash = h
+}
+
+// TimelineHash returns the timeline fingerprint as "<hash>-<events fired>".
+// Equal strings mean the two runs popped the same number of events at the
+// same virtual times in the same order; a virtual-mode mesh seeded
+// identically must reproduce it byte for byte.
+func (e *Engine) TimelineHash() string {
+	return fmt.Sprintf("%016x-%d", e.hash, e.fired)
 }
 
 // Step advances the simulation by exactly one event (after draining all
@@ -212,6 +247,7 @@ func (e *Engine) Step() bool {
 	if ev == nil {
 		return e.liveThreads() > 0
 	}
+	e.recordFire(ev.Time())
 	e.clock.Advance(ev.Time())
 	ev.Fire()
 	return true
