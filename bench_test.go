@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -1364,6 +1365,150 @@ func BenchmarkScale1K(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_scale1k.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// churnSim runs a 256-proc signaled-channel churn on the virtual-time
+// mesh: every proc repeatedly dials its ring successor through a shared
+// token-bucket admission policy deliberately tighter (burst 32) than the
+// opening storm (256 simultaneous first dials), transfers a couple of
+// messages, and closes with the full RELEASE handshake. It returns the
+// modeled setup-latency distribution over successful handshakes, the
+// admission rejection rate, churn throughput in channels per modeled
+// second, the total leaked-state count across all procs (zero or the
+// lifecycle is broken), and the run's timeline hash.
+func churnSim(n, cycles, msgs int, seed int64) (latencies []float64, rejRate float64, chansPerSec float64, opens int64, leaks int, timeline string) {
+	vm := core.NewVirtualMesh(n, seed, core.VirtualMeshConfig{
+		Lanes:     2,
+		Admission: core.NewTokenBucketAdmission(100_000, 32),
+		OnAccept: func(c *core.Channel) {
+			c.Proc().TCreate("serve", mts.PrioDefault, func(th *core.Thread) {
+				opener := c.PeerThread()
+				c.Send(th, opener, []byte{0})
+				for k := 0; k < msgs; k++ {
+					c.Recv(th, core.Any)
+				}
+				c.Send(th, opener, []byte{1})
+			})
+		},
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		p := vm.Procs[i]
+		p.TCreate("keeper", mts.PrioDefault, func(th *core.Thread) { th.Recv(core.Any, core.Any) })
+		p.TCreate("dial", mts.PrioDefault, func(th *core.Thread) {
+			peer := core.ProcID((i + 1) % n)
+			rng := vm.Rand(int64(i))
+			for cyc := 0; cyc < cycles; cyc++ {
+				var ch *core.Channel
+				for ch == nil {
+					start := vm.Now()
+					c, err := p.OpenCall(th, peer, core.CallConfig{
+						Flow:  core.NewWindowFlow(4),
+						Error: core.NewGoBackN(8, 2*time.Millisecond),
+					})
+					if err != nil {
+						continue // admission rejection; the wire round trip paces the retry
+					}
+					latencies = append(latencies, float64(vm.Now()-start)/float64(time.Microsecond))
+					ch = c
+				}
+				// Announce/serve rendezvous: the server's first message
+				// carries its thread index in the source address.
+				_, from := ch.Recv(th, core.Any)
+				for k := 0; k < msgs; k++ {
+					buf := make([]byte, 1+rng.Intn(256))
+					buf[0] = byte(k)
+					ch.Send(th, from.Thread, buf)
+				}
+				ch.Recv(th, core.Any)
+				if err := ch.CloseCall(th); err != nil {
+					panic(err)
+				}
+			}
+			th.Send(0, peer, []byte("bye"))
+		})
+	}
+	vm.Run()
+	var opened, setups, rejected int64
+	for _, p := range vm.Procs {
+		leaks += len(p.Leaks())
+		st := p.Lifecycle()
+		opened += st.Opened
+		setups += st.SetupsSent
+		rejected += st.SetupsRejected
+	}
+	if setups > 0 {
+		rejRate = float64(rejected) / float64(setups)
+	}
+	if secs := vm.Now().Seconds(); secs > 0 {
+		chansPerSec = float64(opened/2) / secs // each channel opens on both ends
+	}
+	return latencies, rejRate, chansPerSec, opened / 2, leaks, vm.TimelineHash()
+}
+
+func percentileUs(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// BenchmarkChurn is the control-plane benchmark: 256 procs × 4 signaled
+// calls each (1024 full open/transfer/close cycles) under admission
+// overload, on the deterministic virtual-time mesh. It reports the modeled
+// SETUP→CONNECT latency distribution, the churn rate, and the admission
+// rejection rate; the run is repeated from the same seed and fails on any
+// timeline divergence, and any leaked lifecycle state fails it outright.
+// Results persist to BENCH_churn.json (CI diffs the snapshot and gates on
+// zero leaks plus a nonzero rejection rate).
+func BenchmarkChurn(b *testing.B) {
+	const n, cycles, msgs, seed = 256, 4, 2, 7
+	lat, rejRate, cps, opens, leaks, tl := churnSim(n, cycles, msgs, seed)
+	if leaks != 0 {
+		b.Fatalf("churn leaked %d lifecycle entries", leaks)
+	}
+	if rejRate == 0 {
+		b.Fatal("admission rejected nothing: the churn never overloaded the bucket")
+	}
+	if _, _, _, _, _, tl2 := churnSim(n, cycles, msgs, seed); tl2 != tl {
+		b.Fatalf("churn nondeterministic:\n  run1 %s\n  run2 %s", tl, tl2)
+	}
+	sort.Float64s(lat)
+	p50 := percentileUs(lat, 0.50)
+	p99 := percentileUs(lat, 0.99)
+	b.ReportMetric(p50, "setup_p50_modeled_us")
+	b.ReportMetric(p99, "setup_p99_modeled_us")
+	b.ReportMetric(cps, "modeled_chans/s")
+	b.ReportMetric(rejRate, "rejection_rate")
+	b.ReportMetric(0, "ns/op")
+
+	artifact := struct {
+		Bench         string  `json:"bench"`
+		GoOS          string  `json:"goos"`
+		GoArch        string  `json:"goarch"`
+		Seed          int64   `json:"seed"`
+		Procs         int     `json:"procs"`
+		Channels      int64   `json:"channels"`
+		SetupP50Us    float64 `json:"setup_latency_p50_modeled_us"`
+		SetupP99Us    float64 `json:"setup_latency_p99_modeled_us"`
+		ChansPerSec   float64 `json:"channels_per_modeled_sec"`
+		RejectionRate float64 `json:"rejection_rate"`
+		Leaks         int     `json:"leaks"`
+		Timeline      string  `json:"determinism_timeline"`
+	}{
+		Bench: "BenchmarkChurn", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Seed: seed, Procs: n, Channels: opens,
+		SetupP50Us: p50, SetupP99Us: p99,
+		ChansPerSec: cps, RejectionRate: rejRate, Leaks: leaks, Timeline: tl,
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_churn.json", append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

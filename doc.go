@@ -38,6 +38,22 @@
 // scheduler. Lane=1 passes the full test suite unchanged, and the suite
 // itself runs both models in CI (-cpu=1,4 under the race detector).
 //
+// Channels also open dynamically by signaling, the paper's switched
+// virtual circuits: Proc.OpenCall runs a blocking SETUP/CONNECT handshake
+// through the ATM signaling band (channel 0), the callee admitting or
+// refusing each call through Config.Admission (always-admit, token
+// bucket, or per-peer cap) and handing admitted channels to
+// Config.OnAccept; refusals and dead peers surface as *OpenError with a
+// typed CallCause after a bounded, jittered retry schedule
+// (CallConfig.SetupTimeout/Retries/Backoff). The lifecycle is
+// OPENING → OPEN → CLOSING → CLOSED: Channel.CloseCall drains in-flight
+// data on both ends before RELEASE/RELEASE-COMPLETE tear down VC routes,
+// discipline timers, and lane state together, sends on a closing channel
+// fail uniformly with *ChannelClosedError across all four disciplines,
+// and Proc.Lifecycle/Proc.Leaks balance-count every resource so churn
+// (the chaos suites run 1000+ open/transfer/close cycles, lossy and
+// virtual-time deterministic) must quiesce leak-free.
+//
 // Group communication is tree-structured and channel-aware: core.Group
 // (Proc.NewGroup) precomputes a q-nomial tree and dissemination-barrier
 // schedule over an agreed member list and pins every collective —

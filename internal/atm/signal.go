@@ -60,6 +60,11 @@ type SigMessage struct {
 // sigWireSize is the fixed encoding length.
 const sigWireSize = 1 + 4 + 4 + 4 + 4 + 4
 
+// SigWireSize is the fixed encoding length of a marshalled SigMessage,
+// exported for consumers that frame signaling messages alongside other
+// payload words.
+const SigWireSize = sigWireSize
+
 // ErrSigWire reports an undecodable signaling message.
 var ErrSigWire = errors.New("atm: bad signaling message")
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/list"
+	"repro/internal/mts"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -102,6 +103,29 @@ type Channel struct {
 	flow     FlowControl
 	errc     ErrorControl
 	closed   bool
+
+	// Signaled-lifecycle state (see signal.go). state is atomic because
+	// lane engines read it on the send path (sendUnavailable) without
+	// entering the scheduler domain; everything else below is
+	// scheduler-domain only. sigRef is the call reference the channel was
+	// set up under (0 for statically opened channels, which signaling never
+	// touches); sigInit marks the caller end, sigAdmitted an admission slot
+	// to return at finalize, vcBound an installed per-call VC route.
+	// relSent/relPeer/relAttempt/closeStarted/closedDone drive the close
+	// handshake, and closeWaiters holds threads parked in CloseCall.
+	state        atomic.Uint32
+	everOpen     bool
+	sigRef       uint32
+	sigInit      bool
+	sigAdmitted  bool
+	vcBound      bool
+	peerThread   int
+	relSent      bool
+	relPeer      bool
+	relAttempt   int
+	closeStarted bool
+	closedDone   bool
+	closeWaiters []*mts.Thread
 
 	// lnp is the lane the channel currently runs on in the sharded
 	// configuration (nil classically). All mutable channel state below —
@@ -327,10 +351,11 @@ func (p *Proc) lookupChannel(peer ProcID, id ChannelID) (*Channel, bool) {
 // from a thread of this process (or any scheduler-domain context);
 // idempotent.
 //
-// Close is one-sided: there is no teardown signaling to the peer (the
-// SVC signaling story is separate), so a peer still transmitting into a
-// closed channel sees its error-control tier retry and eventually give
-// up, exactly as against a dead process.
+// Close is one-sided: there is no teardown signaling to the peer, so a
+// peer still transmitting into a closed channel sees its error-control
+// tier retry and eventually give up, exactly as against a dead process.
+// Channels opened through the signaling band (Proc.OpenCall) should use
+// CloseCall instead, which drains both ends and releases the VC.
 func (c *Channel) Close() {
 	if ln := c.lockLane(); ln != nil {
 		if c.closed {
@@ -339,6 +364,7 @@ func (c *Channel) Close() {
 		}
 		c.flushCtrl()
 		c.closed = true
+		c.state.Store(chanClosed)
 		c.flow.shutdown()
 		c.errc.shutdown()
 		ln.serviceLocked()
@@ -355,6 +381,7 @@ func (c *Channel) Close() {
 	// channel produces no more data frames to carry it.
 	c.flushCtrl()
 	c.closed = true
+	c.state.Store(chanClosed)
 	c.flow.shutdown()
 	c.errc.shutdown()
 	// Error control may have been holding the only reference that kept the
@@ -364,6 +391,14 @@ func (c *Channel) Close() {
 
 // Closed reports whether Close has been called on this end.
 func (c *Channel) Closed() bool { return c.closed }
+
+// sendUnavailable reports whether new sends must fail: the channel was
+// closed locally, or the signaled close handshake has begun (CLOSING keeps
+// the receiver role live so the peer can drain, but admits no new sends).
+// Safe from any goroutine — lane engines call it on the send path.
+func (c *Channel) sendUnavailable() bool {
+	return c.closed || c.state.Load() >= chanClosing
+}
 
 // lockLane acquires the channel's *current* lane lock, returning the locked
 // lane (nil classically). Because the rebalancer only moves a channel while
@@ -418,6 +453,17 @@ func (c *Channel) ID() ChannelID { return c.id }
 
 // Peer returns the remote process the channel connects to.
 func (c *Channel) Peer() ProcID { return c.peer }
+
+// Proc returns the owning process (the local end). Accept hooks use it to
+// create serving threads for incoming signaled calls.
+func (c *Channel) Proc() *Proc { return c.p }
+
+// PeerThread returns the calling-party thread index carried in the SETUP:
+// on the callee end of a signaled call, the index of the thread that
+// invoked OpenCall, so a serving thread knows where to address its first
+// message before the peers have exchanged anything. Zero for statically
+// opened channels and on the caller end.
+func (c *Channel) PeerThread() int { return c.peerThread }
 
 // Priority returns the channel's drain priority.
 func (c *Channel) Priority() int { return c.priority }
@@ -756,8 +802,10 @@ func (c *Channel) TryRecv(t *Thread, fromThread int) (data []byte, from Addr, ok
 // calling thread until the transfer is handed to the network — the shared
 // body of Thread.Send and Channel.Send.
 func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
-	if c.closed {
-		panic(fmt.Sprintf("core(proc %d): send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
+	if c.sendUnavailable() {
+		p.putDataMsg(m)
+		p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: c.peer, ID: c.id})
+		return
 	}
 	p.traceThread(t, trace.Idle)
 	req := p.getReq()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -199,7 +200,8 @@ func TestChannelValidation(t *testing.T) {
 // TestCloseFailsWindowGatedSends: a thread blocked in Send because window
 // flow deferred its request must not hang forever when the channel closes
 // — Close fails the gated send, the caller unblocks, and the exception
-// handler reports the abandonment. Further sends panic.
+// handler reports the abandonment. Further sends fail with the typed
+// ChannelClosedError through the exception handler.
 func TestCloseFailsWindowGatedSends(t *testing.T) {
 	mem := transport.NewMem()
 	procs := realCluster(t, 2, mem, nil)
@@ -211,7 +213,7 @@ func TestCloseFailsWindowGatedSends(t *testing.T) {
 	ch1 := procs[1].Open(0, ChannelConfig{ID: 1})
 	flow0 := ch0.Flow().(*WindowFlow)
 
-	var sendReturned, sendAfterClosePanicked bool
+	var sendReturned, sendAfterCloseReturned bool
 	procs[0].TCreate("blocked", mts.PrioDefault, func(th *Thread) {
 		ch0.Send(th, 0, []byte("one")) // consumes the single credit
 		ch0.Send(th, 0, []byte("two")) // gated: returns only via Close
@@ -225,10 +227,8 @@ func TestCloseFailsWindowGatedSends(t *testing.T) {
 		if !ch0.Closed() {
 			t.Error("Closed() false after Close")
 		}
-		func() {
-			defer func() { sendAfterClosePanicked = recover() != nil }()
-			ch0.Send(th, 0, []byte("three"))
-		}()
+		ch0.Send(th, 0, []byte("three"))
+		sendAfterCloseReturned = true
 	})
 	procs[1].TCreate("recv", mts.PrioDefault, func(th *Thread) {
 		ch1.Recv(th, Any) // only the first message ever arrives
@@ -238,11 +238,24 @@ func TestCloseFailsWindowGatedSends(t *testing.T) {
 	if !sendReturned {
 		t.Fatal("gated send never returned after Close")
 	}
-	if !sendAfterClosePanicked {
-		t.Fatal("Send on a closed channel did not panic")
+	if !sendAfterCloseReturned {
+		t.Fatal("Send on a closed channel did not return")
 	}
 	if len(caught) == 0 {
 		t.Fatal("Close failed a gated send without reporting it")
+	}
+	var cce *ChannelClosedError
+	found := false
+	for _, err := range caught {
+		if errors.As(err, &cce) {
+			found = true
+			if cce.ID != 1 || cce.Peer != 1 {
+				t.Fatalf("ChannelClosedError names channel %d to proc %d, want 1 to 1", cce.ID, cce.Peer)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no ChannelClosedError among exceptions: %v", caught)
 	}
 }
 

@@ -197,6 +197,20 @@ type Config struct {
 	// skewed placements; channels placed through it remain migratable by
 	// the rebalancer (unlike explicit pins).
 	LaneHash func(ProcID) int
+	// Admission judges incoming signaled call setups (Proc.OpenCall at the
+	// peer): nil admits everything. Rejections travel back to the caller
+	// as typed causes; see AdmissionPolicy in signal.go.
+	Admission AdmissionPolicy
+	// SigIdleTimeout, when positive, arms an idle reaper on every signaled
+	// channel: a channel that moves no traffic for a full period is closed
+	// from this end — the survival path against a peer that crashed after
+	// call setup. 0 disables (the default).
+	SigIdleTimeout time.Duration
+	// OnAccept, when set, runs in the scheduler domain for every incoming
+	// signaled call this process admits, handing the application its end of
+	// the channel (typically to TCreate a serving thread). The channel is
+	// OPEN and the CONNECT already on its way when the hook runs.
+	OnAccept func(*Channel)
 }
 
 // sendReq is one queued transfer for the send system thread.
@@ -332,10 +346,27 @@ type Proc struct {
 
 	onException func(error)
 
+	// Signaled-call state (scheduler domain; see signal.go): sigCalls holds
+	// outstanding outgoing setups by call reference, sigRefSeq allocates
+	// references.
+	sigCalls  map[uint32]*sigCall
+	sigRefSeq uint32
+
 	// Stats. Atomic: in sharded mode the stats-reading side (tests,
 	// benchmarks) races lane engines updating channel counters, and these
 	// proc-wide totals are read the same way.
 	sent, received atomic.Int64
+
+	// Lifecycle balance counters (signal.go): paired ledgers that must
+	// match at quiesce — the churn scenarios' zero-leak assertion — plus
+	// the setup funnel. Atomic for the same reason as above.
+	statOpened, statClosed               atomic.Int64
+	statSetupsSent, statSetupsAccepted   atomic.Int64
+	statSetupsRejected, statSetupRetries atomic.Int64
+	statVCBound, statVCRel               atomic.Int64
+	statTimersArmed, statTimersFired     atomic.Int64
+	statRingPush, statRingDrain          atomic.Int64
+	statLateCtrl                         atomic.Int64
 }
 
 // New builds an NCS process: the paper's NCS_init. System threads (send,
@@ -356,6 +387,21 @@ func New(cfg Config) *Proc {
 		cfg.After = cfg.RT.After
 	}
 	p := &Proc{cfg: cfg}
+	if cfg.VirtualTime {
+		// Virtual-time runs assert exact timer balance at quiesce
+		// (Proc.Leaks): wrap the injected timer so every arm and fire is
+		// counted. Real mode skips the wrap — the closure costs
+		// allocations the alloc-pinned hot paths cannot afford, and
+		// wall-clock timers legitimately outlive a sampling instant.
+		base := p.cfg.After
+		p.cfg.After = func(d time.Duration, fn func()) {
+			p.statTimersArmed.Add(1)
+			base(d, func() {
+				p.statTimersFired.Add(1)
+				fn()
+			})
+		}
+	}
 	p.ctrlFlush = cfg.CtrlFlushDelay
 	if p.ctrlFlush == 0 {
 		p.ctrlFlush = DefaultCtrlFlushDelay
@@ -872,7 +918,7 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 			// (credits, acks, retransmissions — raw requests bypass
 			// admission) is waiting behind it.
 			if req.m.Tag >= 0 && !req.raw {
-				if req.ch.closed {
+				if req.ch.sendUnavailable() {
 					// The channel closed while this request sat queued
 					// (Send raced Close): fail it exactly like shutdown
 					// failed the already-deferred ones, before any
@@ -881,7 +927,7 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 					// request.
 					ch, to := req.m.Channel, req.m.To
 					p.failSend(req)
-					p.exception(fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
+					p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: to, ID: ch})
 					continue
 				}
 				if !req.flowOK {
@@ -1244,10 +1290,12 @@ func (p *Proc) handleControl(m *transport.Message) {
 	case tagFlowAck, tagGBNAck:
 		// A closed channel stays in the table and still consumes control:
 		// error control needs late acks to finish draining its in-flight
-		// window, and cumulative credit advertisements are idempotent.
+		// window, and cumulative credit advertisements are idempotent. A
+		// channel nobody has open is almost always one a signaled close
+		// just finalized out of the table — drop the late word and count.
 		c, ok := p.lookupChannel(m.From, m.Channel)
 		if !ok {
-			p.exception(fmt.Errorf("control tag %d on unopened channel %d from proc %d", m.Tag, m.Channel, m.From))
+			p.statLateCtrl.Add(1)
 			return
 		}
 		if m.Tag == tagFlowAck {
@@ -1257,6 +1305,8 @@ func (p *Proc) handleControl(m *transport.Message) {
 		}
 	case tagBarrier, tagBarrierRel:
 		p.onBarrierMsg(m)
+	case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp:
+		p.onSigMsg(m)
 	default:
 		p.exception(fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))
 	}

@@ -149,6 +149,32 @@ func (s *laneSched) pop() *sendReq {
 	}
 }
 
+// removeChan drops a closing channel from the active ring wherever it
+// sits (no-op when it has no backlog). The cursor math mirrors push: an
+// element removed before the cursor shifts the round left, and removing
+// the cursor's own channel hands the (fresh) quantum to its successor.
+func (s *laneSched) removeChan(c *Channel) {
+	if !c.inSched {
+		return
+	}
+	c.inSched = false
+	c.deficit = 0
+	for i, x := range s.active {
+		if x != c {
+			continue
+		}
+		copy(s.active[i:], s.active[i+1:])
+		s.active[len(s.active)-1] = nil
+		s.active = s.active[:len(s.active)-1]
+		if i < s.cur {
+			s.cur--
+		} else if i == s.cur {
+			s.fresh = true
+		}
+		break
+	}
+}
+
 // removeCur drops the channel at the cursor from the active ring: its
 // backlog is gone, so its deficit resets (classic DRR — an idle channel
 // banks nothing).

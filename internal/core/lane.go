@@ -344,7 +344,7 @@ func (p *Proc) routeFrame(fb *wire.Buf) {
 		panic("core: self-produced message failed to decode: " + err.Error())
 	}
 	var c, cc, ca *Channel
-	if m.Tag != tagBarrier && m.Tag != tagBarrierRel {
+	if m.Tag != tagBarrier && m.Tag != tagBarrierRel && !isSigTag(m.Tag) {
 		c, _ = p.lookupChannel(m.From, m.Channel)
 		if m.HasCredit && m.CreditChan != m.Channel {
 			cc, _ = p.lookupChannel(m.From, m.CreditChan)
@@ -357,6 +357,7 @@ func (p *Proc) routeFrame(fb *wire.Buf) {
 	if c != nil {
 		ln = c.lnp.Load()
 	}
+	p.statRingPush.Add(1)
 	ln.rx.Push(rxItem{m: m, c: c, cc: cc, ca: ca})
 	ln.kick()
 }
@@ -389,6 +390,7 @@ func (ln *lane) engine() {
 			tr.Set(ln.traceName, trace.Comm)
 			tr.Mark(ln.traceName, fmt.Sprintf("q=%d", len(items)))
 		}
+		ln.p.statRingDrain.Add(int64(len(items)))
 		fns := ln.fnScratch[:0]
 		ln.mu.Lock()
 		for i := range items {
@@ -451,6 +453,7 @@ func (ln *lane) step() {
 			tr.Set(ln.traceName, trace.Comm)
 			tr.Mark(ln.traceName, fmt.Sprintf("q=%d", len(items)))
 		}
+		ln.p.statRingDrain.Add(int64(len(items)))
 		fns := ln.fnScratch[:0]
 		ln.mu.Lock()
 		for i := range items {
@@ -518,6 +521,7 @@ func (ln *lane) processLocked() {
 			// is re-ordered at worst into a retransmission, never into a
 			// mis-ordered delivery).
 			dst := c.lnp.Load()
+			ln.p.statRingPush.Add(1)
 			dst.rx.Push(it)
 			dst.kick()
 			continue
@@ -526,7 +530,11 @@ func (ln *lane) processLocked() {
 			switch m.Tag {
 			case tagFlowAck, tagGBNAck:
 				if c == nil {
-					ln.errs = append(ln.errs, fmt.Errorf("control tag %d on unopened channel %d from proc %d", m.Tag, m.Channel, m.From))
+					// Control for a channel nobody has open: almost always
+					// an ack or credit racing the channel's finalize (the
+					// signaled close removed it from the table). Cumulative
+					// control is supersede-safe, so drop it and count.
+					ln.p.statLateCtrl.Add(1)
 					m.Release()
 					continue
 				}
@@ -538,6 +546,10 @@ func (ln *lane) processLocked() {
 				m.Release()
 			case tagBarrier, tagBarrierRel:
 				// Barrier state is proc-level scheduler-domain state.
+				ln.deliver = append(ln.deliver, m)
+			case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp:
+				// Signaling is proc-level scheduler-domain state, like
+				// barriers: the drain dispatches to onSigMsg.
 				ln.deliver = append(ln.deliver, m)
 			default:
 				ln.errs = append(ln.errs, fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))
@@ -610,10 +622,10 @@ func (ln *lane) serviceLocked() {
 		for !ln.pending.empty() {
 			req := ln.pending.pop()
 			if req.m.Tag >= 0 && !req.raw {
-				if req.ch.closed {
+				if req.ch.sendUnavailable() {
 					ch, to := req.m.Channel, req.m.To
 					ln.failSendLocked(req)
-					ln.errs = append(ln.errs, fmt.Errorf("core: send on closed channel %d to proc %d failed", ch, to))
+					ln.errs = append(ln.errs, &ChannelClosedError{Local: ln.p.cfg.ID, Peer: to, ID: ch})
 					continue
 				}
 				if !req.flowOK {
@@ -736,6 +748,7 @@ func (ln *lane) applyCrossLocked(t *Channel, tag int, v uint32) {
 		Data: wire.AppendUint32(nil, v),
 	}
 	dst := t.lnp.Load()
+	ln.p.statRingPush.Add(1)
 	dst.rx.Push(rxItem{m: m, c: t})
 	dst.kick()
 }
@@ -909,6 +922,29 @@ func (ln *lane) flushRunLocked(run []*sendReq) []*sendReq {
 	return run[:0]
 }
 
+// detachChanLocked strips a finalizing channel out of every lane structure
+// it participates in: queued sends fail with the typed closed error, the
+// DRR ring and pending-control index forget it, and it leaves the lane's
+// channel list. Caller holds ln.mu; the channel must already be in the
+// CLOSED state so no new work can re-enter behind the sweep.
+func (ln *lane) detachChanLocked(c *Channel) {
+	for c.sq.Size() > 0 {
+		req := c.sq.Pop()
+		ln.failSendLocked(req)
+		ln.errs = append(ln.errs, &ChannelClosedError{Local: ln.p.cfg.ID, Peer: c.peer, ID: c.id})
+	}
+	ln.pending.removeChan(c)
+	ln.pendDropLocked(c)
+	for i, x := range ln.chans {
+		if x == c {
+			ln.chans[i] = ln.chans[len(ln.chans)-1]
+			ln.chans[len(ln.chans)-1] = nil
+			ln.chans = ln.chans[:len(ln.chans)-1]
+			break
+		}
+	}
+}
+
 // failSendLocked is the lane-domain failSend: recycle the request and
 // defer its caller's wakeup to the drain.
 func (ln *lane) failSendLocked(req *sendReq) {
@@ -945,9 +981,11 @@ func (c *Channel) laneSend(t *Thread, tag, toThread int, data []byte) {
 	}
 	ln := c.lockLane()
 	ln.loadAcc.Add(cost)
-	if c.closed {
+	if c.sendUnavailable() {
 		ln.mu.Unlock()
-		panic(fmt.Sprintf("core(proc %d): send on closed channel %d to proc %d", p.cfg.ID, c.id, c.peer))
+		p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: c.peer, ID: c.id})
+		p.traceThread(t, trace.Compute)
+		return
 	}
 	m := ln.getDataMsg()
 	m.From = p.cfg.ID
@@ -1030,7 +1068,11 @@ func (ln *lane) drain(self *mts.Thread) (selfWoken bool) {
 
 		for i, m := range del {
 			if m.Tag < 0 {
-				p.onBarrierMsg(m)
+				if isSigTag(m.Tag) {
+					p.onSigMsg(m)
+				} else {
+					p.onBarrierMsg(m)
+				}
 				m.Release()
 			} else {
 				p.dispatchData(nil, m)

@@ -93,6 +93,7 @@ func (p *Proc) rebalanceTick() {
 	if hot != cold && hotE > 2*coldE && hotE-coldE >= rebalMinGap {
 		dst := cold
 		src := hot
+		p.statRingPush.Add(1)
 		src.rx.Push(rxItem{fn: func() { src.migrateOne(dst, tick) }})
 		src.kick()
 	}
@@ -111,8 +112,14 @@ func lockPair(a, b *lane) {
 }
 
 // idleSafeLocked reports whether the channel can change lanes right now;
-// caller holds the channel's (current) lane lock.
+// caller holds the channel's (current) lane lock. A channel in the
+// signaled lifecycle may migrate only while fully OPEN (or static):
+// mid-handshake and mid-teardown channels stay put, so the close path
+// tears lane state down on exactly one lane.
 func (c *Channel) idleSafeLocked(tick int64) bool {
+	if st := c.state.Load(); st != chanStatic && st != chanOpen {
+		return false
+	}
 	return !c.closed && !c.pinned &&
 		c.errc.sequenced() &&
 		c.sq.Size() == 0 && !c.inSched &&

@@ -40,6 +40,16 @@ type VirtualMeshConfig struct {
 	Error ErrorControl
 	// RebalanceInterval is passed through to Config.RebalanceInterval.
 	RebalanceInterval time.Duration
+	// Admission is the per-proc call admission policy for signaled opens
+	// (nil = admit everything), passed through to Config.Admission.
+	Admission AdmissionPolicy
+	// SigIdleTimeout tears down signaled channels idle for this long
+	// (zero = never), passed through to Config.SigIdleTimeout.
+	SigIdleTimeout time.Duration
+	// OnAccept runs for every admitted incoming signaled call, on every
+	// proc (use Channel.Proc to tell whose); passed through to
+	// Config.OnAccept.
+	OnAccept func(*Channel)
 	// Net overrides the fabric parameters; zero fields default to the NYNET
 	// calibration (TAXI host links, 10 µs propagation and switch latency).
 	Net netsim.FrameMeshConfig
@@ -105,6 +115,9 @@ func NewVirtualMesh(n int, seed int64, cfg VirtualMeshConfig) *VirtualMesh {
 			Flow:              cfg.Flow,
 			Error:             cfg.Error,
 			RebalanceInterval: cfg.RebalanceInterval,
+			Admission:         cfg.Admission,
+			SigIdleTimeout:    cfg.SigIdleTimeout,
+			OnAccept:          cfg.OnAccept,
 		})
 		vm.Nodes = append(vm.Nodes, node)
 		vm.Procs = append(vm.Procs, p)

@@ -171,6 +171,11 @@ func NewSwitch(eng *sim.Engine, name string, latency time.Duration) *Switch {
 // Route installs a forwarding entry: cells on vc leave through out.
 func (s *Switch) Route(vc atm.VC, out *Link) { s.table[vc] = out }
 
+// Unroute removes a forwarding entry; cells still in flight on vc are
+// dropped on arrival, exactly as a fabric discards traffic after a circuit
+// is released. Idempotent.
+func (s *Switch) Unroute(vc atm.VC) { delete(s.table, vc) }
+
 // Police installs usage parameter control on a VC: cells beyond the GCRA
 // contract are discarded (drop policy; real switches may instead tag CLP).
 func (s *Switch) Police(vc atm.VC, g *atm.GCRA) {
@@ -402,15 +407,43 @@ func (n *Network) InstallChannelRoutes(ch uint16) {
 	if n.kind != "nynet-lan" || len(n.switches) != 1 || n.down == nil {
 		panic("netsim: InstallChannelRoutes requires a single-switch ATM LAN")
 	}
-	sw := n.switches[0]
 	hosts := len(n.down)
 	for s := 0; s < hosts; s++ {
-		for d := 0; d < hosts; d++ {
-			if s != d {
-				sw.Route(VCForChan(s, d, ch), n.down[d])
-			}
+		for d := s + 1; d < hosts; d++ {
+			n.InstallChannelRoute(s, d, ch)
 		}
 	}
+}
+
+// InstallChannelRoute provisions the pair of directed routes carrying NCS
+// channel ch between hosts a and b on a single-switch ATM LAN — the
+// per-call analogue of InstallChannelRoutes, used by signaled channel
+// setup. Idempotent.
+func (n *Network) InstallChannelRoute(a, b int, ch uint16) {
+	if n.kind != "nynet-lan" || len(n.switches) != 1 || n.down == nil {
+		panic("netsim: InstallChannelRoute requires a single-switch ATM LAN")
+	}
+	if a == b {
+		return
+	}
+	sw := n.switches[0]
+	sw.Route(VCForChan(a, b, ch), n.down[b])
+	sw.Route(VCForChan(b, a, ch), n.down[a])
+}
+
+// RemoveChannelRoute releases the pair of directed routes installed by
+// InstallChannelRoute; cells still in flight on the VC are discarded by
+// the switch. Idempotent.
+func (n *Network) RemoveChannelRoute(a, b int, ch uint16) {
+	if n.kind != "nynet-lan" || len(n.switches) != 1 || n.down == nil {
+		panic("netsim: RemoveChannelRoute requires a single-switch ATM LAN")
+	}
+	if a == b {
+		return
+	}
+	sw := n.switches[0]
+	sw.Unroute(VCForChan(a, b, ch))
+	sw.Unroute(VCForChan(b, a, ch))
 }
 
 // NewEthernetLAN builds the paper's comparison platform: n hosts on one

@@ -212,3 +212,47 @@ func TestVCForDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestChannelRoutePairInstallRemove: the per-call provisioning used by the
+// signaled channel lifecycle. Installing a pair routes exactly the two
+// directed VCs of one (host pair, channel); removing them makes the switch
+// discard subsequent cells, as a real fabric does once a circuit is torn
+// down.
+func TestChannelRoutePairInstallRemove(t *testing.T) {
+	eng := sim.NewEngine()
+	net := NewATMLAN(eng, 3, ATMLANConfig{HostLinkBps: 100e6})
+	var got [3][]Unit
+	for h := 0; h < 3; h++ {
+		h := h
+		net.AttachHost(h, PortFunc(func(u Unit) { got[h] = append(got[h], u) }))
+	}
+	sw := net.Switches()[0]
+	net.InstallChannelRoute(0, 1, 5)
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 1, VC: VCForChan(0, 1, 5)})
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 0, VC: VCForChan(1, 0, 5)})
+	// The pair (0,2) was never provisioned for channel 5.
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 2, VC: VCForChan(0, 2, 5)})
+	eng.Run()
+	if len(got[0]) != 1 || len(got[1]) != 1 || len(got[2]) != 0 {
+		t.Fatalf("deliveries = %d,%d,%d; want 1,1,0", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if d := sw.Dropped(); d != 1 {
+		t.Fatalf("switch dropped %d, want 1 (the unprovisioned pair)", d)
+	}
+	net.RemoveChannelRoute(0, 1, 5)
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 1, VC: VCForChan(0, 1, 5)})
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 0, VC: VCForChan(1, 0, 5)})
+	eng.Run()
+	if len(got[0]) != 1 || len(got[1]) != 1 {
+		t.Fatal("cells delivered after the channel's routes were removed")
+	}
+	if d := sw.Dropped(); d != 3 {
+		t.Fatalf("switch dropped %d, want 3 after teardown", d)
+	}
+	// The default mesh (channel 0) is untouched by per-channel teardown.
+	sw.Deliver(Unit{WireBytes: 53, DstHost: 1, VC: VCFor(0, 1)})
+	eng.Run()
+	if len(got[1]) != 2 {
+		t.Fatal("default-mesh VC no longer routed after channel teardown")
+	}
+}

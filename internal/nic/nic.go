@@ -282,6 +282,37 @@ func (a *SimATM) Send(t *mts.Thread, m *transport.Message) {
 	wire.PutBuf(wb)
 }
 
+// BindChannel implements transport.ChannelRouter: a signaled call that
+// connects installs the switched VC pair carrying (peer, ch), the
+// adapter-side half of the paper's one-VC-per-channel model. Channel 0
+// rides the pre-provisioned mesh and topologies without per-pair routing
+// (Ethernet, WAN) keep their static tables. Runs in the sim's scheduler
+// domain; idempotent.
+func (a *SimATM) BindChannel(peer transport.ProcID, ch wire.ChannelID) {
+	if ch == 0 || a.net.Kind() != "nynet-lan" {
+		return
+	}
+	a.net.InstallChannelRoute(a.host, int(peer), uint16(ch))
+}
+
+// UnbindChannel implements transport.ChannelRouter: the released call's VC
+// routes leave the switch (in-flight cells are discarded there, as a real
+// fabric does after release) and the adapter drops its per-VC transmit
+// accounting and reassembly state so channel churn cannot accrete it.
+func (a *SimATM) UnbindChannel(peer transport.ProcID, ch wire.ChannelID) {
+	if ch == 0 {
+		return
+	}
+	if a.net.Kind() == "nynet-lan" {
+		a.net.RemoveChannelRoute(a.host, int(peer), uint16(ch))
+	}
+	tx := netsim.VCForChan(a.host, int(peer), uint16(ch))
+	rx := netsim.VCForChan(int(peer), a.host, uint16(ch))
+	delete(a.vcTx, tx)
+	delete(a.reasm, rx)
+	delete(a.asm, rx)
+}
+
 // SetPreFilter installs a unit filter that runs before data reassembly.
 func (a *SimATM) SetPreFilter(f func(netsim.Unit) bool) { a.preFilter = f }
 

@@ -103,3 +103,16 @@ type FrameHandler func(fb *wire.Buf)
 type FrameCarrier interface {
 	SetFrameHandler(h FrameHandler)
 }
+
+// ChannelRouter is the optional per-call VC management seam: carriers that
+// map (peer, channel) pairs onto switched VCs install the route when a
+// signaled call connects and remove it when the channel is released,
+// instead of pre-provisioning the whole mesh. Both calls run in the local
+// scheduler domain. UnbindChannel must tolerate frames still in flight on
+// the VC (a lossy carrier's retransmissions may race the teardown) and
+// both must be idempotent. Carriers without switched VCs simply don't
+// implement the interface.
+type ChannelRouter interface {
+	BindChannel(peer ProcID, ch wire.ChannelID)
+	UnbindChannel(peer ProcID, ch wire.ChannelID)
+}

@@ -289,6 +289,38 @@ func (e *Endpoint) ConfigureVC(vc atm.VC, prio int, g *atm.GCRA) {
 	q.gcra = g
 }
 
+// BindChannel implements transport.ChannelRouter. The UDP fabric has no
+// switch tables to program — the per-VC transmit queue materializes lazily
+// on first send — so connecting a signaled call needs no work here.
+func (e *Endpoint) BindChannel(peer transport.ProcID, ch wire.ChannelID) {}
+
+// UnbindChannel implements transport.ChannelRouter: a released call's
+// transmit queue is dropped so channel churn cannot accrete per-VC state.
+// Only the transmit side is touched (under txMu); receive-side reassembly
+// state belongs to the reader goroutine and is bounded by the VC space,
+// not by churn. The queue is left in place if frames are still pending —
+// the writer drains every accepted frame (the Close guarantee), and a
+// reused channel ID maps back onto the same VC anyway.
+func (e *Endpoint) UnbindChannel(peer transport.ProcID, ch wire.ChannelID) {
+	if ch == 0 {
+		return
+	}
+	vc := VCForChan(e.proc, peer, ch)
+	e.txMu.Lock()
+	defer e.txMu.Unlock()
+	q, ok := e.txByVC[vc]
+	if !ok || q.frames.Size() > 0 {
+		return
+	}
+	delete(e.txByVC, vc)
+	for i, x := range e.queues {
+		if x == q {
+			e.queues = append(e.queues[:i], e.queues[i+1:]...)
+			break
+		}
+	}
+}
+
 // VCStats reports a transmit VC's accounting: cells handed to the kernel
 // and cells discarded by the VC's policer.
 func (e *Endpoint) VCStats(vc atm.VC) (cellsSent, policed int64) {
