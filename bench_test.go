@@ -2,6 +2,7 @@ package repro
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -1509,6 +1510,129 @@ func BenchmarkChurn(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_churn.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// faultsSim is one deterministic kill experiment: n-1 observers each hold
+// a warmed channel to the victim and park on a targeted receive; the
+// victim is killed at killAt on the virtual clock; every observer's
+// failure detector declares it independently and the failure sweep
+// unblocks the parked receive with the typed error. Each observer's
+// wakeup instant minus killAt is one detection-latency sample (detection
+// and fail-fast teardown are the same sweep, so the sample covers both).
+func faultsSim(n int, hb core.Heartbeat, killAt time.Duration, seed int64) (latencies []float64, typed int, leaks int, timeline string) {
+	victim := core.ProcID(n - 1)
+	vm := core.NewVirtualMesh(n, seed, core.VirtualMeshConfig{
+		Heartbeat: hb,
+		MaxTime:   time.Second,
+	})
+	vm.Eng.Schedule(killAt, func() { vm.Net.KillHost(int(victim)) })
+	recoverTyped := func(fn func()) bool {
+		ok := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					var pd *core.PeerDeadError
+					if err, is := r.(error); !is || !errors.As(err, &pd) {
+						panic(r)
+					}
+					ok = true
+				}
+			}()
+			fn()
+		}()
+		return ok
+	}
+	for i := 0; i < n-1; i++ {
+		i := i
+		rng := vm.Rand(int64(i))
+		vm.Procs[i].TCreate("obs", mts.PrioDefault, func(th *core.Thread) {
+			th.Send(0, victim, make([]byte, 64+rng.Intn(512)))
+			th.Recv(core.Any, victim) // ack: the pair is now mutually monitored
+			if recoverTyped(func() { th.Recv(core.Any, victim) }) {
+				latencies = append(latencies, float64(vm.Now()-killAt)/float64(time.Microsecond))
+				typed++
+			}
+		})
+	}
+	vm.Procs[victim].TCreate("victim", mts.PrioDefault, func(th *core.Thread) {
+		for k := 0; k < n-1; k++ {
+			_, from := th.Recv(core.Any, core.Any)
+			th.Send(from.Thread, from.Proc, []byte{1})
+		}
+		if recoverTyped(func() { th.Recv(core.Any, 0) }) {
+			typed++
+		}
+	})
+	vm.Run()
+	for _, p := range vm.Procs {
+		leaks += len(p.Leaks())
+	}
+	return latencies, typed, leaks, vm.TimelineHash()
+}
+
+// BenchmarkFaults is the failure-domain benchmark: 64 procs on the
+// virtual-time mesh, every observer channel-attached to one victim, the
+// victim killed mid-run. It reports the modeled detection latency
+// distribution (kill to typed wakeup, which includes the fail-fast
+// teardown sweep) and gates on the detector's contract: every waiter
+// unblocked with the typed error, p99 within the (Misses+1)*Interval
+// bound plus one tick of scheduling slop, zero lifecycle leaks, and a
+// byte-identical timeline on a same-seed rerun. Results persist to
+// BENCH_faults.json for the CI snapshot/diff pipeline.
+func BenchmarkFaults(b *testing.B) {
+	const n, seed = 64, 7
+	hb := core.Heartbeat{Interval: time.Millisecond, Misses: 3}
+	const killAt = 5 * time.Millisecond
+	boundUs := float64((time.Duration(hb.Misses+2) * hb.Interval) / time.Microsecond)
+	lat, typed, leaks, tl := faultsSim(n, hb, killAt, seed)
+	if leaks != 0 {
+		b.Fatalf("fault teardown leaked %d lifecycle entries", leaks)
+	}
+	if typed != n {
+		b.Fatalf("typed deaths = %d, want %d (every waiter must unblock with *PeerDeadError)", typed, n)
+	}
+	if _, _, _, tl2 := faultsSim(n, hb, killAt, seed); tl2 != tl {
+		b.Fatalf("kill suite nondeterministic:\n  run1 %s\n  run2 %s", tl, tl2)
+	}
+	sort.Float64s(lat)
+	p50 := percentileUs(lat, 0.50)
+	p99 := percentileUs(lat, 0.99)
+	if p99 > boundUs {
+		b.Fatalf("detection p99 %.0fµs exceeds the modeled bound %.0fµs", p99, boundUs)
+	}
+	b.ReportMetric(p50, "detect_p50_modeled_us")
+	b.ReportMetric(p99, "detect_p99_modeled_us")
+	b.ReportMetric(float64(typed), "typed_deaths")
+	b.ReportMetric(0, "ns/op")
+
+	artifact := struct {
+		Bench       string  `json:"bench"`
+		GoOS        string  `json:"goos"`
+		GoArch      string  `json:"goarch"`
+		Seed        int64   `json:"seed"`
+		Procs       int     `json:"procs"`
+		IntervalUs  float64 `json:"heartbeat_interval_us"`
+		Misses      int     `json:"heartbeat_misses"`
+		DetectP50Us float64 `json:"detect_latency_p50_modeled_us"`
+		DetectP99Us float64 `json:"detect_latency_p99_modeled_us"`
+		BoundUs     float64 `json:"detect_latency_bound_modeled_us"`
+		TypedDeaths int     `json:"typed_deaths"`
+		Leaks       int     `json:"leaks"`
+		Timeline    string  `json:"determinism_timeline"`
+	}{
+		Bench: "BenchmarkFaults", GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
+		Seed: seed, Procs: n,
+		IntervalUs: float64(hb.Interval) / float64(time.Microsecond), Misses: hb.Misses,
+		DetectP50Us: p50, DetectP99Us: p99, BoundUs: boundUs,
+		TypedDeaths: typed, Leaks: leaks, Timeline: tl,
+	}
+	blob, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_faults.json", append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

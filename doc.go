@@ -54,6 +54,22 @@
 // (the chaos suites run 1000+ open/transfer/close cycles, lossy and
 // virtual-time deterministic) must quiesce leak-free.
 //
+// The failure domain makes peer death a typed, bounded-latency event
+// rather than a hang: Config.Heartbeat arms a per-peer detector on the
+// channel-0 signaling band (all timers on the Config.After seam, so it
+// is deterministic under virtual time), and after Misses silent
+// intervals the peer is declared dead — every channel to it force-closes
+// through the drain machinery, parked sends, blocked receives, and
+// in-flight collectives unblock with *PeerDeadError, VC routes and
+// admission slots release, and Proc.Leaks still balances to zero.
+// Carriers expose crash/partition/link-flap/blackhole fault injection
+// for chaos testing, Proc.Redial wraps OpenCall in a cause-aware
+// backoff policy for surviving a peer restart, Config.AcceptQueue turns
+// listener overload into bounded backpressure, and
+// CallConfig.IdleTimeout scopes the idle reaper per call. BenchmarkFaults
+// gates modeled detection latency, typed-error coverage, and zero leaks
+// in CI via BENCH_faults.json.
+//
 // Group communication is tree-structured and channel-aware: core.Group
 // (Proc.NewGroup) precomputes a q-nomial tree and dissemination-barrier
 // schedule over an agreed member list and pins every collective —

@@ -126,6 +126,13 @@ type Channel struct {
 	closeStarted bool
 	closedDone   bool
 	closeWaiters []*mts.Thread
+	// deadErr, set by the failure sweep when the peer is declared dead,
+	// replaces the generic ChannelClosedError on every subsequent send
+	// failure so callers see the cause, not just the symptom. idleOver,
+	// when non-zero, is the per-call SigIdleTimeout override negotiated at
+	// setup (CallConfig.IdleTimeout; -1 disables the idle teardown).
+	deadErr  *PeerDeadError
+	idleOver time.Duration
 
 	// lnp is the lane the channel currently runs on in the sharded
 	// configuration (nil classically). All mutable channel state below —
@@ -398,6 +405,18 @@ func (c *Channel) Closed() bool { return c.closed }
 // Safe from any goroutine — lane engines call it on the send path.
 func (c *Channel) sendUnavailable() bool {
 	return c.closed || c.state.Load() >= chanClosing
+}
+
+// sendFailErr is the error a failed send raises: the typed *PeerDeadError
+// when the failure sweep tore the channel down, the generic closed-channel
+// error otherwise. Scheduler or lane domain (deadErr is written under the
+// lane lock by the sweep, read on the same paths that observe the state
+// bump that made sendUnavailable true).
+func (c *Channel) sendFailErr() error {
+	if c.deadErr != nil {
+		return c.deadErr
+	}
+	return &ChannelClosedError{Local: c.p.cfg.ID, Peer: c.peer, ID: c.id}
 }
 
 // lockLane acquires the channel's *current* lane lock, returning the locked
@@ -802,9 +821,16 @@ func (c *Channel) TryRecv(t *Thread, fromThread int) (data []byte, from Addr, ok
 // calling thread until the transfer is handed to the network — the shared
 // body of Thread.Send and Channel.Send.
 func (p *Proc) sendOn(c *Channel, t *Thread, m *transport.Message) {
+	if pd := p.deadPeers[c.peer]; pd != nil {
+		// Fail fast on a declared-dead peer: see laneSend. A send after
+		// the failure sweep must not feed a resurrected channel.
+		p.putDataMsg(m)
+		p.exception(pd)
+		return
+	}
 	if c.sendUnavailable() {
 		p.putDataMsg(m)
-		p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: c.peer, ID: c.id})
+		p.exception(c.sendFailErr())
 		return
 	}
 	p.traceThread(t, trace.Idle)

@@ -211,6 +211,21 @@ type Config struct {
 	// the channel (typically to TCreate a serving thread). The channel is
 	// OPEN and the CONNECT already on its way when the hook runs.
 	OnAccept func(*Channel)
+	// AcceptQueue, when positive, bounds a listener-side queue of incoming
+	// SETUPs served one per scheduler pass — backpressure instead of the
+	// instant synchronous accept when the app is slow in OnAccept; a SETUP
+	// arriving into a full queue is rejected with CauseBusy. 0 keeps the
+	// synchronous accept path (the default).
+	AcceptQueue int
+	// Heartbeat configures the per-peer failure detector (failure.go):
+	// every Interval the proc beats each peer it has channels to over the
+	// channel-0 signaling band and, after Misses consecutive silent
+	// intervals, declares the peer dead — force-closing every channel to it
+	// and failing blocked senders, receivers, and collectives with the
+	// typed *PeerDeadError. Interval 0 disables detection (the default).
+	// All timers ride Config.After, so detection is deterministic under a
+	// VirtualTime mesh.
+	Heartbeat Heartbeat
 }
 
 // sendReq is one queued transfer for the send system thread.
@@ -256,6 +271,10 @@ type recvWaiter struct {
 	// head-of-line-block payloads that already arrived.
 	multi []Addr
 	got   *transport.Message
+	// err, when set by the failure sweep (failDeadWaiters), marks a waiter
+	// whose pattern can only match dead peers: the woken receiver re-raises
+	// it instead of reading got.
+	err error
 }
 
 // Proc is one NCS process.
@@ -352,6 +371,17 @@ type Proc struct {
 	sigCalls  map[uint32]*sigCall
 	sigRefSeq uint32
 
+	// Failure domain (scheduler domain; see failure.go): hbPeers is the
+	// detector's per-peer beat state, hbMisses the resolved miss budget,
+	// deadPeers the peers declared dead (cleared by a fresh OpenCall or an
+	// incoming SETUP from the peer). acceptQ/acceptOn are the bounded
+	// listener-side SETUP queue (Config.AcceptQueue).
+	hbPeers   map[ProcID]*hbPeer
+	hbMisses  int
+	deadPeers map[ProcID]*PeerDeadError
+	acceptQ   []pendingSetup
+	acceptOn  bool
+
 	// Stats. Atomic: in sharded mode the stats-reading side (tests,
 	// benchmarks) races lane engines updating channel counters, and these
 	// proc-wide totals are read the same way.
@@ -415,7 +445,10 @@ func New(cfg Config) *Proc {
 	}
 	p.channels = make(map[chanKey]*Channel)
 	p.onException = func(err error) {
-		panic(fmt.Sprintf("core(proc %d): unhandled exception: %v", cfg.ID, err))
+		// Wrap rather than format: a recovering thread (chaos harnesses,
+		// redial loops) can still errors.As the typed cause — e.g.
+		// *PeerDeadError — out of the panic value.
+		panic(fmt.Errorf("core(proc %d): unhandled exception: %w", cfg.ID, err))
 	}
 
 	// Sharded mode engages only when it can be transparent: more than one
@@ -433,12 +466,14 @@ func New(cfg Config) *Proc {
 	if lanes > 1 && frames && cfg.RecvCharge == nil && cfg.ArrivalPollDelay == nil && (!customAfter || cfg.VirtualTime) {
 		p.initLanes(lanes, fc)
 		p.startRebalance()
+		p.startHeartbeat()
 		return p
 	}
 
 	cfg.Endpoint.SetHandler(p.deliver)
 	p.sendThread = cfg.RT.Create(fmt.Sprintf("ncs%d-send", cfg.ID), mts.PrioSystem, p.sendLoop)
 	p.recvThread = cfg.RT.Create(fmt.Sprintf("ncs%d-recv", cfg.ID), mts.PrioSystem, p.recvLoop)
+	p.startHeartbeat()
 	return p
 }
 
@@ -745,11 +780,19 @@ func (p *Proc) failGated(c *Channel, reqs []*sendReq, gate string) {
 		for _, req := range reqs {
 			ln.failSendLocked(req)
 		}
-		ln.errs = append(ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
+		if c.deadErr != nil {
+			ln.errs = append(ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s: %w", c.id, c.peer, len(reqs), gate, c.deadErr))
+		} else {
+			ln.errs = append(ln.errs, fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
+		}
 		return
 	}
 	for _, req := range reqs {
 		p.failSend(req)
+	}
+	if c.deadErr != nil {
+		p.exception(fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s: %w", c.id, c.peer, len(reqs), gate, c.deadErr))
+		return
 	}
 	p.exception(fmt.Errorf("core: channel %d to proc %d closed with %d sends still gated by %s", c.id, c.peer, len(reqs), gate))
 }
@@ -923,11 +966,11 @@ func (p *Proc) sendLoop(st *mts.Thread) {
 					// (Send raced Close): fail it exactly like shutdown
 					// failed the already-deferred ones, before any
 					// discipline can admit it into a torn-down window.
-					// Read the address before failSend recycles the
+					// Read the channel before failSend recycles the
 					// request.
-					ch, to := req.m.Channel, req.m.To
+					c := req.ch
 					p.failSend(req)
-					p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: to, ID: ch})
+					p.exception(c.sendFailErr())
 					continue
 				}
 				if !req.flowOK {
@@ -1305,7 +1348,7 @@ func (p *Proc) handleControl(m *transport.Message) {
 		}
 	case tagBarrier, tagBarrierRel:
 		p.onBarrierMsg(m)
-	case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp:
+	case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp, tagSigBeat:
 		p.onSigMsg(m)
 	default:
 		p.exception(fmt.Errorf("unknown control tag %d from proc %d", m.Tag, m.From))

@@ -57,6 +57,11 @@ type ErrorControl interface {
 	// but leaves the in-flight window draining: already-admitted data
 	// still flushes, timers and all. Idempotent.
 	shutdown()
+	// abandon drops the in-flight window without retransmission: the peer
+	// is dead, so nothing unacked will ever be acknowledged and retrying
+	// only burns timers. Deferred requests are left for shutdown to fail.
+	// Idempotent.
+	abandon()
 }
 
 // NoErrorControl trusts the transport.
@@ -74,6 +79,7 @@ func (NoErrorControl) pending() int                   { return 0 }
 func (NoErrorControl) queued() int                    { return 0 }
 func (NoErrorControl) sequenced() bool                { return false }
 func (NoErrorControl) shutdown()                      {}
+func (NoErrorControl) abandon()                       {}
 
 // GoBackN is sliding-window ARQ with cumulative acks and a retransmission
 // timer, per channel. ESeq numbers start at 1; an ack carries the highest
@@ -292,4 +298,13 @@ func (g *GoBackN) shutdown() {
 	reqs := g.deferred
 	g.deferred = nil
 	g.p.failGated(g.ch, reqs, "go-back-N")
+}
+
+// abandon drops the unacked window: the peer is dead, retransmitting is
+// futile. A pending timer self-cancels on fire (empty window re-arms
+// nothing).
+func (g *GoBackN) abandon() {
+	g.abandoned += int64(len(g.unacked))
+	g.base = g.nextSeq
+	g.unacked = nil
 }

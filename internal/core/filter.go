@@ -101,6 +101,10 @@ func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *
 		p.received.Add(1)
 		return m
 	}
+	if e := p.deadRecvErr(fromProc, nil); e != nil {
+		p.exception(e)
+		panic(e)
+	}
 	w := p.getWaiter()
 	w.t = t
 	w.ch = ch
@@ -111,6 +115,12 @@ func (t *Thread) recvMsgOn(ch ChannelID, tag, fromThread int, fromProc ProcID) *
 	p.traceThread(t, trace.Idle)
 	t.mt.Park("ncs recv")
 	p.traceThread(t, trace.Compute)
+	if w.err != nil {
+		err := w.err
+		p.putWaiter(w)
+		p.exception(err)
+		panic(err)
+	}
 	p.received.Add(1)
 	got := w.got
 	p.putWaiter(w)
@@ -140,6 +150,10 @@ func (t *Thread) recvAnyOf(ch ChannelID, tag int, set []Addr) (*transport.Messag
 			return m, j
 		}
 	}
+	if e := p.deadRecvErr(Any, set); e != nil {
+		p.exception(e)
+		panic(e)
+	}
 	w := p.getWaiter()
 	w.t = t
 	w.ch = ch
@@ -149,6 +163,12 @@ func (t *Thread) recvAnyOf(ch ChannelID, tag int, set []Addr) (*transport.Messag
 	p.traceThread(t, trace.Idle)
 	t.mt.Park("ncs recv")
 	p.traceThread(t, trace.Compute)
+	if w.err != nil {
+		err := w.err
+		p.putWaiter(w)
+		p.exception(err)
+		panic(err)
+	}
 	p.received.Add(1)
 	got := w.got
 	p.putWaiter(w)

@@ -547,7 +547,7 @@ func (ln *lane) processLocked() {
 			case tagBarrier, tagBarrierRel:
 				// Barrier state is proc-level scheduler-domain state.
 				ln.deliver = append(ln.deliver, m)
-			case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp:
+			case tagSigSetup, tagSigConnect, tagSigReject, tagSigRelease, tagSigRelComp, tagSigBeat:
 				// Signaling is proc-level scheduler-domain state, like
 				// barriers: the drain dispatches to onSigMsg.
 				ln.deliver = append(ln.deliver, m)
@@ -623,9 +623,9 @@ func (ln *lane) serviceLocked() {
 			req := ln.pending.pop()
 			if req.m.Tag >= 0 && !req.raw {
 				if req.ch.sendUnavailable() {
-					ch, to := req.m.Channel, req.m.To
+					c := req.ch
 					ln.failSendLocked(req)
-					ln.errs = append(ln.errs, &ChannelClosedError{Local: ln.p.cfg.ID, Peer: to, ID: ch})
+					ln.errs = append(ln.errs, c.sendFailErr())
 					continue
 				}
 				if !req.flowOK {
@@ -931,7 +931,7 @@ func (ln *lane) detachChanLocked(c *Channel) {
 	for c.sq.Size() > 0 {
 		req := c.sq.Pop()
 		ln.failSendLocked(req)
-		ln.errs = append(ln.errs, &ChannelClosedError{Local: ln.p.cfg.ID, Peer: c.peer, ID: c.id})
+		ln.errs = append(ln.errs, c.sendFailErr())
 	}
 	ln.pending.removeChan(c)
 	ln.pendDropLocked(c)
@@ -973,6 +973,14 @@ func (ln *lane) failSendLocked(req *sendReq) {
 // through the drain.
 func (c *Channel) laneSend(t *Thread, tag, toThread int, data []byte) {
 	p := c.p
+	if pd := p.deadPeers[c.peer]; pd != nil {
+		// Fail fast: the peer has been declared dead. Without this check a
+		// send after the failure sweep would resurrect a fresh default
+		// channel (the sweep removed the old one) and feed frames into the
+		// void forever. Scheduler-domain read: thread bodies run there.
+		p.exception(pd)
+		return
+	}
 	p.traceThread(t, trace.Idle)
 	cost := int64(wire.HeaderSize + len(data))
 	c.loadAcc.Add(cost)
@@ -983,7 +991,7 @@ func (c *Channel) laneSend(t *Thread, tag, toThread int, data []byte) {
 	ln.loadAcc.Add(cost)
 	if c.sendUnavailable() {
 		ln.mu.Unlock()
-		p.exception(&ChannelClosedError{Local: p.cfg.ID, Peer: c.peer, ID: c.id})
+		p.exception(c.sendFailErr())
 		p.traceThread(t, trace.Compute)
 		return
 	}

@@ -247,3 +247,16 @@ func (s *SelectiveRepeat) shutdown() {
 	s.deferred = nil
 	s.p.failGated(s.ch, reqs, "selective repeat")
 }
+
+// abandon drops every unacked in-flight message: the peer is dead, nothing
+// will ack them. Per-sequence timers self-cancel on fire (missing inflight
+// entry re-arms nothing).
+func (s *SelectiveRepeat) abandon() {
+	for _, pd := range s.inflight {
+		if !pd.acked {
+			s.abandoned++
+		}
+	}
+	s.inflight = make(map[uint32]*srPending)
+	s.base = s.nextSeq
+}

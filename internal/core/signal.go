@@ -54,8 +54,9 @@ const (
 	tagSigRelComp = -10
 )
 
-// isSigTag reports whether tag is one of the signaling control tags.
-func isSigTag(tag int) bool { return tag <= tagSigSetup && tag >= tagSigRelComp }
+// isSigTag reports whether tag is one of the signaling control tags
+// (including the heartbeat, tagSigBeat in failure.go).
+func isSigTag(tag int) bool { return tag <= tagSigSetup && tag >= tagSigBeat }
 
 // Channel lifecycle states (Channel.state). Statically opened channels
 // (Proc.Open, default channels) stay chanStatic forever: their lifecycle is
@@ -89,6 +90,9 @@ const (
 	CauseUnsupported
 	// CausePeerClosed: the callee process is shutting down.
 	CausePeerClosed
+	// CausePeerDead: the heartbeat failure detector declared the peer dead
+	// (see failure.go); outstanding call setups toward it fail with this.
+	CausePeerDead
 )
 
 func (c CallCause) String() string {
@@ -105,6 +109,8 @@ func (c CallCause) String() string {
 		return "unsupported"
 	case CausePeerClosed:
 		return "peer-closed"
+	case CausePeerDead:
+		return "peer-dead"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}
@@ -183,6 +189,11 @@ type CallConfig struct {
 	// deterministic per-call jitter so synchronized callers spread out);
 	// 0 selects SetupTimeout/2.
 	Backoff time.Duration
+	// IdleTimeout overrides the proc-wide Config.SigIdleTimeout for this
+	// call on *both* ends (it travels in the SETUP): positive arms the
+	// idle reaper at that period, negative disables it for this channel,
+	// 0 inherits the proc-wide setting.
+	IdleTimeout time.Duration
 }
 
 // ---------------------------------------------------------------------------
@@ -368,7 +379,13 @@ func (p *Proc) OpenCall(t *Thread, peer ProcID, cfg CallConfig) (*Channel, error
 	if ec == nil {
 		ec = NoErrorControl{}
 	}
+	// Dialing (or re-dialing) a peer starts the failure detector's view of
+	// it over: the death record clears and monitoring restarts with a fresh
+	// grace period, so Redial can reach a restarted peer.
+	delete(p.deadPeers, peer)
+	delete(p.hbPeers, peer)
 	c := p.addChannel(chanKey{peer: peer, id: id}, cfg.Priority, cfg.Lane, cfg.Weight, fc, ec)
+	c.idleOver = cfg.IdleTimeout
 	p.sigRefSeq++
 	ref := p.sigRefSeq
 	c.state.Store(chanOpening)
@@ -417,8 +434,10 @@ func (p *Proc) sendSetup(call *sigCall, words [8]uint32) {
 	}
 	// The 9th word after the QoS block is the calling-party thread index,
 	// surfaced on the callee as Channel.PeerThread so a serving thread can
-	// address the opener before any application rendezvous.
-	p.sendSigMsg(call.peer, tagSigSetup, sig, append(words[:], uint32(call.callerIdx))...)
+	// address the opener before any application rendezvous; the 10th is the
+	// per-call idle-timeout override, so both ends arm the same reaper.
+	p.sendSigMsg(call.peer, tagSigSetup, sig,
+		append(words[:], uint32(call.callerIdx), encodeIdleWord(call.cfg.IdleTimeout))...)
 }
 
 // armSetupTimer schedules attempt's timeout: the per-attempt SetupTimeout
@@ -481,7 +500,8 @@ func sigJitter(a, b, c uint32, span time.Duration) time.Duration {
 // errB]. flowKind 0 = none, 1 = window (A = Window, B = SyncInterval µs),
 // 2 = rate (A = bytes/s, B = bucket bytes); errKind 0 = none, 1 =
 // go-back-N, 2 = selective repeat (A = Window, B = Timeout µs). A 9th
-// word follows with the calling-party thread index (Channel.PeerThread).
+// word follows with the calling-party thread index (Channel.PeerThread),
+// and a 10th with the per-call idle-timeout override (encodeIdleWord).
 
 func encodeCallWords(cfg CallConfig) ([8]uint32, bool) {
 	var w [8]uint32
@@ -563,6 +583,23 @@ func decodeCallWords(w []uint32) (prio, weight int, fc FlowControl, ec ErrorCont
 	return prio, weight, fc, ec, true
 }
 
+// encodeIdleWord packs CallConfig.IdleTimeout into its SETUP word:
+// microseconds, with all-ones meaning "explicitly disabled" and zero
+// "inherit the proc-wide SigIdleTimeout". decodeIdleWord inverts it.
+func encodeIdleWord(d time.Duration) uint32 {
+	if d < 0 {
+		return ^uint32(0)
+	}
+	return satU32(int64(d / time.Microsecond))
+}
+
+func decodeIdleWord(w uint32) time.Duration {
+	if w == ^uint32(0) {
+		return -1
+	}
+	return time.Duration(w) * time.Microsecond
+}
+
 func satU32(v int64) uint32 {
 	if v < 0 {
 		return 0
@@ -634,6 +671,13 @@ func (p *Proc) sendSigMsg(to ProcID, tag int, sig atm.SigMessage, words ...uint3
 // onSigMsg dispatches one arriving signaling frame. Scheduler domain; the
 // caller releases m afterwards, so nothing here may retain it.
 func (p *Proc) onSigMsg(m *transport.Message) {
+	if m.Tag == tagSigBeat {
+		// Heartbeats are bare one-word frames — no marshalled SigMessage.
+		if len(m.Data) >= 4 {
+			p.onBeat(m.From, wire.Uint32(m.Data))
+		}
+		return
+	}
 	if len(m.Data) < atm.SigWireSize {
 		p.exception(fmt.Errorf("core: short signaling frame (%d bytes) from proc %d", len(m.Data), m.From))
 		return
@@ -645,10 +689,10 @@ func (p *Proc) onSigMsg(m *transport.Message) {
 	}
 	rest := m.Data[atm.SigWireSize:]
 	nw := len(rest) / 4
-	if nw > 9 {
-		nw = 9
+	if nw > 10 {
+		nw = 10
 	}
-	var words [9]uint32
+	var words [10]uint32
 	for i := 0; i < nw; i++ {
 		words[i] = wire.Uint32(rest[4*i:])
 	}
@@ -684,22 +728,68 @@ func (p *Proc) onSigMsg(m *transport.Message) {
 // ---------------------------------------------------------------------------
 // Callee side
 
+// pendingSetup is one queued incoming call (Config.AcceptQueue).
+type pendingSetup struct {
+	from  ProcID
+	id    ChannelID
+	sig   atm.SigMessage
+	words [10]uint32
+}
+
 // onSetup judges one incoming call: admission policy, QoS decode, channel
 // allocation, VC bind — then CONNECT; any refusal answers REJECT with a
-// cause instead of leaving the caller hanging.
-func (p *Proc) onSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [9]uint32) {
-	reject := func(cause CallCause) {
-		p.statSetupsRejected.Add(1)
-		rs := atm.SigMessage{Type: atm.SigReject, CallRef: sig.CallRef, Caller: sig.Caller, Called: sig.Called, Forward: sig.Forward}
-		p.sendSigMsg(from, tagSigReject, rs, uint32(cause))
-	}
-	if id == 0 || id > MaxChannelID {
-		reject(CauseUnsupported)
+// cause instead of leaving the caller hanging. With Config.AcceptQueue set
+// the SETUP instead joins a bounded listener-side queue and is served one
+// per scheduler pass — backpressure instead of instant rejection when the
+// app is slow in OnAccept — overflowing with CauseBusy.
+func (p *Proc) onSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [10]uint32) {
+	// A peer dialing us is alive by definition: clear any stale death
+	// record so its new call is monitored with a fresh grace period.
+	delete(p.deadPeers, from)
+	delete(p.hbPeers, from)
+	if p.setupPrechecked(from, id, sig) {
 		return
+	}
+	if p.cfg.AcceptQueue > 0 {
+		for _, ps := range p.acceptQ {
+			if ps.from == from && ps.id == id && ps.sig.CallRef == sig.CallRef {
+				return // retransmitted SETUP; the original is still queued
+			}
+		}
+		if len(p.acceptQ) >= p.cfg.AcceptQueue {
+			p.rejectSetup(from, sig, CauseBusy)
+			return
+		}
+		p.acceptQ = append(p.acceptQ, pendingSetup{from: from, id: id, sig: sig, words: words})
+		if !p.acceptOn {
+			p.acceptOn = true
+			p.cfg.After(0, p.acceptNext)
+		}
+		return
+	}
+	p.acceptSetup(from, id, sig, words)
+}
+
+// rejectSetup answers a SETUP with REJECT and the given cause.
+func (p *Proc) rejectSetup(from ProcID, sig atm.SigMessage, cause CallCause) {
+	p.statSetupsRejected.Add(1)
+	rs := atm.SigMessage{Type: atm.SigReject, CallRef: sig.CallRef, Caller: sig.Caller, Called: sig.Called, Forward: sig.Forward}
+	p.sendSigMsg(from, tagSigReject, rs, uint32(cause))
+}
+
+// setupPrechecked runs the synchronous, idempotent SETUP checks — invalid
+// ID, closing proc, duplicate call — answering directly (REJECT, or a
+// repeated CONNECT for a call already accepted) and reporting whether the
+// SETUP is fully dealt with. Runs both on arrival and again when a queued
+// SETUP is finally served, since the state may have moved in between.
+func (p *Proc) setupPrechecked(from ProcID, id ChannelID, sig atm.SigMessage) bool {
+	if id == 0 || id > MaxChannelID {
+		p.rejectSetup(from, sig, CauseUnsupported)
+		return true
 	}
 	if p.closing.Load() {
-		reject(CausePeerClosed)
-		return
+		p.rejectSetup(from, sig, CausePeerClosed)
+		return true
 	}
 	p.chanMu.RLock()
 	exist, dup := p.channels[chanKey{peer: from, id: id}]
@@ -709,11 +799,39 @@ func (p *Proc) onSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [9]u
 			// Duplicate SETUP for a call we already accepted (our CONNECT
 			// was lost, or the retry raced it): answer again, idempotently.
 			p.sendConnect(from, id, sig)
-			return
+			return true
 		}
-		reject(CauseBusy)
+		p.rejectSetup(from, sig, CauseBusy)
+		return true
+	}
+	return false
+}
+
+// acceptNext serves the head of the accept queue and re-arms for the rest:
+// one call per zero-delay scheduler event, so a burst of SETUPs cannot
+// monopolize a pass, and each queued call is re-prechecked at serve time.
+func (p *Proc) acceptNext() {
+	if len(p.acceptQ) == 0 {
+		p.acceptOn = false
 		return
 	}
+	ps := p.acceptQ[0]
+	n := copy(p.acceptQ, p.acceptQ[1:])
+	p.acceptQ[n] = pendingSetup{}
+	p.acceptQ = p.acceptQ[:n]
+	if !p.setupPrechecked(ps.from, ps.id, ps.sig) {
+		p.acceptSetup(ps.from, ps.id, ps.sig, ps.words)
+	}
+	if len(p.acceptQ) > 0 {
+		p.cfg.After(0, p.acceptNext)
+	} else {
+		p.acceptOn = false
+	}
+}
+
+// acceptSetup is the accept tail shared by the direct and queued paths:
+// admission, QoS decode, channel allocation, VC bind, CONNECT, OnAccept.
+func (p *Proc) acceptSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [10]uint32) {
 	pol := p.cfg.Admission
 	if pol == nil {
 		pol = AlwaysAdmit{}
@@ -722,13 +840,13 @@ func (p *Proc) onSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [9]u
 		if cause == CauseNone {
 			cause = CauseAdmissionDenied
 		}
-		reject(cause)
+		p.rejectSetup(from, sig, cause)
 		return
 	}
 	prio, weight, fc, ec, ok := decodeCallWords(words[:])
 	if !ok {
 		pol.Release(from)
-		reject(CauseUnsupported)
+		p.rejectSetup(from, sig, CauseUnsupported)
 		return
 	}
 	c := p.addChannel(chanKey{peer: from, id: id}, prio, 0, weight, fc, ec)
@@ -737,6 +855,7 @@ func (p *Proc) onSetup(from ProcID, id ChannelID, sig atm.SigMessage, words [9]u
 	c.sigRef = sig.CallRef
 	c.sigAdmitted = true
 	c.peerThread = int(words[8])
+	c.idleOver = decodeIdleWord(words[9])
 	p.statSetupsAccepted.Add(1)
 	p.statOpened.Add(1)
 	p.bindVC(c)
@@ -1059,13 +1178,17 @@ func (p *Proc) unbindVC(c *Channel) {
 }
 
 // armIdleTeardown starts the idle-channel reaper chain: when
-// Config.SigIdleTimeout is set and a signaled channel moves no traffic for
-// a full period, this end closes it — the survival path against a peer
-// that crashed after CONNECT. The chain re-arms only while the channel is
-// OPEN and the proc is running, so it cannot keep a virtual-time engine
-// alive.
+// Config.SigIdleTimeout (or the call's CallConfig.IdleTimeout override,
+// carried in the SETUP so both ends agree) is set and a signaled channel
+// moves no traffic for a full period, this end closes it — the survival
+// path against a peer that crashed after CONNECT. The chain re-arms only
+// while the channel is OPEN and the proc is running, so it cannot keep a
+// virtual-time engine alive.
 func (p *Proc) armIdleTeardown(c *Channel) {
 	idle := p.cfg.SigIdleTimeout
+	if c.idleOver != 0 {
+		idle = c.idleOver
+	}
 	if idle <= 0 {
 		return
 	}

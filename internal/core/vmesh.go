@@ -50,6 +50,10 @@ type VirtualMeshConfig struct {
 	// proc (use Channel.Proc to tell whose); passed through to
 	// Config.OnAccept.
 	OnAccept func(*Channel)
+	// Heartbeat configures every proc's failure detector (passed through to
+	// Config.Heartbeat). Detection timers ride the engine's virtual clock,
+	// so kill suites are deterministic.
+	Heartbeat Heartbeat
 	// Net overrides the fabric parameters; zero fields default to the NYNET
 	// calibration (TAXI host links, 10 µs propagation and switch latency).
 	Net netsim.FrameMeshConfig
@@ -118,6 +122,7 @@ func NewVirtualMesh(n int, seed int64, cfg VirtualMeshConfig) *VirtualMesh {
 			Admission:         cfg.Admission,
 			SigIdleTimeout:    cfg.SigIdleTimeout,
 			OnAccept:          cfg.OnAccept,
+			Heartbeat:         cfg.Heartbeat,
 		})
 		vm.Nodes = append(vm.Nodes, node)
 		vm.Procs = append(vm.Procs, p)

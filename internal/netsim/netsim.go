@@ -333,6 +333,7 @@ func (s sharedMedium) FreeAt() vclock.Time     { return s.e.medium.FreeAt() }
 type Network struct {
 	eng      *sim.Engine
 	paths    []Path
+	fpaths   []Path // fault-checking wrappers around paths, built lazily
 	receive  []Port // set by AttachHost
 	kind     string
 	switches []*Switch
@@ -340,7 +341,77 @@ type Network struct {
 	// down maps host index to the switch downlink toward it (single-
 	// switch ATM LANs); signaling uses it to wire dynamic routes.
 	down []*Link
+
+	// Fault state (crash/partition injection for the failure-domain chaos
+	// suites). killed hosts blackhole all traffic in both directions; cut
+	// drops directed host pairs. Enforced at the send side (faultPath,
+	// where the true source is known even for cell units that leave
+	// Unit.SrcHost zero) and again at delivery (hostPort, so units already
+	// in flight when a host is killed are discarded on arrival).
+	killed     map[int]bool
+	cut        map[[2]int]bool
+	faultDrops int64
 }
+
+// KillHost crashes host h: every unit to or from it is silently dropped
+// until ReviveHost. Idempotent.
+func (n *Network) KillHost(h int) {
+	if n.killed == nil {
+		n.killed = make(map[int]bool)
+	}
+	n.killed[h] = true
+}
+
+// ReviveHost undoes KillHost. Idempotent.
+func (n *Network) ReviveHost(h int) { delete(n.killed, h) }
+
+// Partition cuts the link between hosts a and b in both directions; traffic
+// to and from every other host is unaffected. Idempotent.
+func (n *Network) Partition(a, b int) {
+	if n.cut == nil {
+		n.cut = make(map[[2]int]bool)
+	}
+	n.cut[[2]int{a, b}] = true
+	n.cut[[2]int{b, a}] = true
+}
+
+// Heal undoes Partition for the pair. Idempotent.
+func (n *Network) Heal(a, b int) {
+	delete(n.cut, [2]int{a, b})
+	delete(n.cut, [2]int{b, a})
+}
+
+// ScheduleFlap schedules a link flap: the a<->b pair partitions `after`
+// from now and heals `dur` later, all in virtual time.
+func (n *Network) ScheduleFlap(a, b int, after, dur time.Duration) {
+	n.eng.Schedule(after, func() { n.Partition(a, b) })
+	n.eng.Schedule(after+dur, func() { n.Heal(a, b) })
+}
+
+// FaultDrops returns the number of units discarded by crash/partition
+// injection.
+func (n *Network) FaultDrops() int64 { return n.faultDrops }
+
+// faultPath wraps a host's transmit path with the crash/partition check:
+// the wrapper knows the true transmitting host, which the unit itself may
+// not carry (cell-granular NICs leave SrcHost zero).
+type faultPath struct {
+	n     *Network
+	src   int
+	inner Path
+}
+
+func (fp faultPath) Send(u Unit) vclock.Time {
+	n := fp.n
+	if n.killed[fp.src] || n.killed[u.DstHost] || n.cut[[2]int{fp.src, u.DstHost}] {
+		n.faultDrops++
+		// Nothing serializes: the transmitter is free immediately.
+		return fp.inner.FreeAt()
+	}
+	return fp.inner.Send(u)
+}
+
+func (fp faultPath) FreeAt() vclock.Time { return fp.inner.FreeAt() }
 
 // Kind returns a label ("ethernet", "nynet-lan", "nynet-wan").
 func (n *Network) Kind() string { return n.kind }
@@ -348,14 +419,25 @@ func (n *Network) Kind() string { return n.kind }
 // Hosts returns the number of attached host slots.
 func (n *Network) Hosts() int { return len(n.paths) }
 
-// PathFor returns host h's transmit path.
-func (n *Network) PathFor(h int) Path { return n.paths[h] }
+// PathFor returns host h's transmit path (wrapped with the fault check, so
+// callers may cache it: kill/partition state is read per send).
+func (n *Network) PathFor(h int) Path {
+	if n.fpaths == nil {
+		n.fpaths = make([]Path, len(n.paths))
+		for i, p := range n.paths {
+			n.fpaths[i] = faultPath{n: n, src: i, inner: p}
+		}
+	}
+	return n.fpaths[h]
+}
 
-// AttachHost sets host h's receive port.
+// AttachHost sets host h's receive port. Delivery stays funneled through
+// hostPort (even on the shared Ethernet) so the fault check sees every
+// arriving unit.
 func (n *Network) AttachHost(h int, p Port) {
 	n.receive[h] = p
 	if n.ether != nil {
-		n.ether.Attach(h, p)
+		n.ether.Attach(h, hostPort{n, h})
 	}
 }
 
@@ -377,6 +459,10 @@ type hostPort struct {
 }
 
 func (hp hostPort) Deliver(u Unit) {
+	if hp.net.killed[hp.id] {
+		hp.net.faultDrops++
+		return
+	}
 	if p := hp.net.receive[hp.id]; p != nil {
 		p.Deliver(u)
 	}

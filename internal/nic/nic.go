@@ -12,6 +12,7 @@ package nic
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/atm"
@@ -88,6 +89,14 @@ type SimATM struct {
 	// dropRNG drives RxDropRate; nil when random rx loss is off. The sim
 	// runs single-threaded, so seeded draws replay deterministically.
 	dropRNG *rand.Rand
+
+	// blackhole, when set, discards every arriving cell before reassembly —
+	// the receive half of a crashed or partitioned host, togglable mid-run
+	// by chaos tests. Atomic so a test goroutine may flip it while the
+	// engine runs. RX-only: the adapter keeps transmitting (a dead *peer*
+	// is modeled by blackholing the peer's adapter or killing its host in
+	// the fabric).
+	blackhole atomic.Bool
 
 	// vcTx is per-VC transmit state: cell accounting plus the optional
 	// GCRA policer enforcing the VC's traffic contract at the UNI. NCS
@@ -316,10 +325,18 @@ func (a *SimATM) UnbindChannel(peer transport.ProcID, ch wire.ChannelID) {
 // SetPreFilter installs a unit filter that runs before data reassembly.
 func (a *SimATM) SetPreFilter(f func(netsim.Unit) bool) { a.preFilter = f }
 
+// SetBlackhole toggles receive-side blackholing: while set, every arriving
+// cell is dropped (and counted in RxDropped) before any reassembly.
+func (a *SimATM) SetBlackhole(on bool) { a.blackhole.Store(on) }
+
 // deliverCell runs per arriving cell: the i960 reassembles AAL5 frames per
 // VC; completed frames feed the VC's chunk assembler, and a finished
 // message goes up to the handler.
 func (a *SimATM) deliverCell(u netsim.Unit) {
+	if a.blackhole.Load() {
+		a.rxDropped++
+		return
+	}
 	if a.preFilter != nil && a.preFilter(u) {
 		return
 	}

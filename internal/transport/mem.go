@@ -41,6 +41,49 @@ type Mem struct {
 	// the messages they carried (benchmarks report them next to the
 	// control-plane counters).
 	batchCalls, batchedMsgs int64
+	// Crash/partition injection (failure-domain chaos): killed procs
+	// blackhole all traffic in both directions, cut drops directed proc
+	// pairs. Both count into dropped.
+	killed map[ProcID]bool
+	cut    map[[2]ProcID]bool
+}
+
+// KillHost crashes proc p: every message to or from it is silently dropped
+// until ReviveHost. Idempotent.
+func (n *Mem) KillHost(p ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed == nil {
+		n.killed = make(map[ProcID]bool)
+	}
+	n.killed[p] = true
+}
+
+// ReviveHost undoes KillHost. Idempotent.
+func (n *Mem) ReviveHost(p ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.killed, p)
+}
+
+// Partition cuts the pair a<->b in both directions; traffic to and from
+// every other proc is unaffected. Idempotent.
+func (n *Mem) Partition(a, b ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut == nil {
+		n.cut = make(map[[2]ProcID]bool)
+	}
+	n.cut[[2]ProcID{a, b}] = true
+	n.cut[[2]ProcID{b, a}] = true
+}
+
+// Heal undoes Partition for the pair. Idempotent.
+func (n *Mem) Heal(a, b ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, [2]ProcID{a, b})
+	delete(n.cut, [2]ProcID{b, a})
 }
 
 // BatchStats reports how much traffic rode the batched path: multi-message
@@ -179,6 +222,10 @@ func (e *MemEndpoint) deliverFrame(fb *wire.Buf) {
 
 // dropLocked runs fault injection for one message; callers hold n.mu.
 func (n *Mem) dropLocked(m *Message) bool {
+	if n.killed[m.From] || n.killed[m.To] || n.cut[[2]ProcID{m.From, m.To}] {
+		n.dropped++
+		return true
+	}
 	n.sendCount++
 	drop := n.dropEvery > 0 && n.sendCount%n.dropEvery == 0
 	if !drop && n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {

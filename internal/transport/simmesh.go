@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mts"
 	"repro/internal/netsim"
@@ -34,6 +35,18 @@ const simMeshFrameOverhead = 48
 // proc works.
 func NewSimMesh(net *netsim.Network) *SimMesh {
 	return &SimMesh{net: net, eps: make([]*SimMeshEndpoint, net.Hosts())}
+}
+
+// KillHost, ReviveHost, Partition, Heal, and ScheduleFlap forward the
+// fabric's crash/partition primitives so chaos tests drive faults through
+// the carrier they hold. All run in the engine's goroutine, like every
+// other SimMesh method.
+func (sm *SimMesh) KillHost(h int)     { sm.net.KillHost(h) }
+func (sm *SimMesh) ReviveHost(h int)   { sm.net.ReviveHost(h) }
+func (sm *SimMesh) Partition(a, b int) { sm.net.Partition(a, b) }
+func (sm *SimMesh) Heal(a, b int)      { sm.net.Heal(a, b) }
+func (sm *SimMesh) ScheduleFlap(a, b int, after, dur time.Duration) {
+	sm.net.ScheduleFlap(a, b, after, dur)
 }
 
 // Attach creates the endpoint for host (= proc) h and wires its receive

@@ -122,6 +122,8 @@ type Endpoint struct {
 	rxDropRate float64
 	rxDropRNG  *rand.Rand
 	rxDropped  int64
+	// blackhole, while set, drops every arriving frame (SetBlackhole).
+	blackhole bool
 
 	cellsSent int64 // guarded by txMu (writer updates, accessors read)
 	cellsRecv int64
@@ -227,10 +229,24 @@ func (e *Endpoint) RecvDropped() int64 {
 	return e.rxDropped
 }
 
+// SetBlackhole toggles receive-side blackholing: while set, every arriving
+// AAL5 frame is dropped (and counted in RecvDropped) before reassembly —
+// the receive half of a crashed or partitioned host for chaos tests over
+// the real UDP carrier.
+func (e *Endpoint) SetBlackhole(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.blackhole = on
+}
+
 // dropArrival decides fault injection for one arriving frame.
 func (e *Endpoint) dropArrival() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.blackhole {
+		e.rxDropped++
+		return true
+	}
 	if e.rxDropRate <= 0 || e.rxDropRNG.Float64() >= e.rxDropRate {
 		return false
 	}
